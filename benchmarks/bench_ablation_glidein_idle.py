@@ -1,0 +1,92 @@
+"""ABLATION-IDLE -- §5: the glidein idle-timeout knob.
+
+"Daemons shut down gracefully when their local allocation expires or
+when they do not receive any jobs to execute after a (configurable)
+amount of time, thus guarding against runaway daemons."
+
+Short timeouts return idle allocations to their owners quickly but make
+the pool cold for late-arriving work; long timeouts hold capacity
+hostage.  We flood glideins, run a burst of jobs, wait, then run a
+second burst; the timeout determines whether the second burst finds a
+warm pool or must re-glide.
+"""
+
+import pytest
+
+from repro import GridTestbed, JobDescription
+
+from _scenarios import drain
+
+BURST = 6
+RUNTIME = 200.0
+GAP = 1200.0          # idle gap between the two bursts
+
+
+def run_timeout(idle_timeout: float):
+    tb = GridTestbed(seed=803)
+    tb.add_site("site", scheduler="pbs", cpus=BURST)
+    agent = tb.add_agent("user")
+    agent.glide_in("site-gk", count=BURST, walltime=10**5,
+                   idle_timeout=idle_timeout)
+    first = [agent.submit(JobDescription(runtime=RUNTIME,
+                                         universe="vanilla"))
+             for _ in range(BURST)]
+    drain(tb, lambda: all(agent.status(j).is_terminal for j in first),
+          cap=10**4, chunk=200.0)
+    # idle gap -- near its end the site's own users submit a block of
+    # work, so a cold re-glide must queue behind it (a warm pool still
+    # holds its slots and is unaffected)
+    from repro.workloads import saturate
+
+    tb.sim.schedule(GAP - 150.0,
+                    lambda: saturate(tb.sites["site"].lrm, jobs=BURST,
+                                     runtime=600.0))
+    tb.sim.run(until=tb.sim.now + GAP)
+    live_before_second = agent.glideins.live_count()
+    if live_before_second == 0:
+        # cold pool: the user's agent re-glides (and pays the queue+boot)
+        agent.glide_in("site-gk", count=BURST, walltime=10**5,
+                       idle_timeout=idle_timeout)
+    t0 = tb.sim.now
+    second = [agent.submit(JobDescription(runtime=RUNTIME,
+                                          universe="vanilla"))
+              for _ in range(BURST)]
+    drain(tb, lambda: all(agent.status(j).is_terminal for j in second),
+          cap=10**5, chunk=200.0)
+    burst2_makespan = max(agent.status(j).end_time for j in second) - t0
+    # allocation-seconds consumed at the site (the "hostage capacity"):
+    # finished allocations plus whatever is still running right now
+    lrm = tb.sites["site"].lrm
+    alloc = lrm.total_busy_time + sum(
+        (tb.sim.now - lrm.jobs[jid].start_time) * lrm.jobs[jid].spec.cpus
+        for jid in lrm.running
+        if lrm.jobs[jid].start_time is not None)
+    done = sum(1 for j in first + second
+               if agent.status(j).is_complete)
+    return {
+        "idle timeout (s)": idle_timeout,
+        "done": f"{done}/{2 * BURST}",
+        "pool warm for burst 2": "yes" if live_before_second else "no",
+        "burst-2 makespan (s)": burst2_makespan,
+        "allocation cpu-s consumed": alloc,
+    }
+
+
+def run_all():
+    return [run_timeout(t) for t in (300.0, 3000.0)]
+
+
+def test_ablation_glidein_idle_timeout(benchmark, report):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    report.table(
+        "ABLATION-IDLE: two job bursts separated by a 1200s idle gap",
+        rows, order=["idle timeout (s)", "done", "pool warm for burst 2",
+                     "burst-2 makespan (s)", "allocation cpu-s consumed"])
+    short, long_ = rows
+    assert short["done"] == long_["done"] == f"{2 * BURST}/{2 * BURST}"
+    # short timeout: pool went cold (but consumed fewer allocation-secs)
+    assert short["pool warm for burst 2"] == "no"
+    assert long_["pool warm for burst 2"] == "yes"
+    assert long_["burst-2 makespan (s)"] < short["burst-2 makespan (s)"]
+    assert short["allocation cpu-s consumed"] < \
+        long_["allocation cpu-s consumed"]

@@ -1,0 +1,98 @@
+"""CLAIM-CRED -- §4.3: credential expiry management.
+
+"A long-lived computation must be able to deal with credential
+expiration": jobs are held (never lost, never run with bad credentials)
+and e-mail goes out; refreshing -- by hand or automatically from MyProxy
+-- releases the holds and re-forwards the fresh proxy to every remote
+JobManager.
+
+Three policies over an identical 3-phase workload (jobs submitted
+before, around, and after the proxy's expiry):
+
+* no refresh: post-expiry jobs stay HELD (safe, stuck);
+* manual refresh (grid-proxy-init after a delay): holds release then;
+* MyProxy auto-refresh: the agent never lets the proxy lapse.
+"""
+
+import pytest
+
+from repro import GridTestbed, JobDescription
+
+from _scenarios import drain
+
+PROXY_LIFETIME = 900.0
+N_PER_PHASE = 3
+
+
+def run_policy(policy: str):
+    tb = GridTestbed(seed=702, use_gsi=True,
+                     with_myproxy=(policy == "myproxy"))
+    tb.add_site("site", scheduler="pbs", cpus=12)
+    agent = tb.add_agent("user", proxy_lifetime=PROXY_LIFETIME,
+                         myproxy=(policy == "myproxy"),
+                         warn_threshold=300.0)
+    ids = []
+
+    def workload():
+        # phase 1: while the proxy is fresh
+        for _ in range(N_PER_PHASE):
+            ids.append(agent.submit(JobDescription(runtime=300.0),
+                                    resource="site-gk"))
+        # phase 2: submitted after expiry
+        yield tb.sim.timeout(PROXY_LIFETIME + 200.0)
+        for _ in range(N_PER_PHASE):
+            ids.append(agent.submit(JobDescription(runtime=300.0),
+                                    resource="site-gk"))
+        if policy == "manual":
+            yield tb.sim.timeout(600.0)
+            fresh = tb.users["user"].proxy(now=tb.sim.now,
+                                           lifetime=12 * 3600.0)
+            agent.refresh_proxy(fresh)
+
+    tb.sim.spawn(workload())
+    drain(tb, lambda: len(ids) == 2 * N_PER_PHASE and
+          all(agent.status(j).is_terminal or
+              agent.status(j).state == "HELD" for j in ids)
+          and tb.sim.now > PROXY_LIFETIME + 1500.0,
+          cap=10**4, chunk=500.0)
+
+    done = sum(1 for j in ids if agent.status(j).is_complete)
+    held = sum(1 for j in ids if agent.status(j).state == "HELD")
+    warn = len(agent.notifier.emails_about("credential expiry warning"))
+    held_mail = len(agent.notifier.emails_about("held"))
+    refreshes = agent.credmon.refresh_count
+    reforwards = len(tb.sim.trace.select("credmon", "reforwarded"))
+    return {
+        "policy": policy,
+        "done": f"{done}/{2 * N_PER_PHASE}",
+        "held at end": held,
+        "warning mails": warn,
+        "held mails": held_mail,
+        "refreshes": refreshes,
+        "re-forwards": reforwards,
+    }
+
+
+def run_all():
+    return [run_policy(p) for p in ("no-refresh", "manual", "myproxy")]
+
+
+def test_claim_credentials(benchmark, report):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    report.table(
+        "CLAIM-CRED: proxy lifetime 900s; 3 jobs before + 3 after expiry",
+        rows, order=["policy", "done", "held at end", "warning mails",
+                     "held mails", "refreshes", "re-forwards"])
+    by = {r["policy"]: r for r in rows}
+    # no refresh: phase-1 jobs finish, phase-2 jobs stay held + mail sent
+    assert by["no-refresh"]["done"] == f"{N_PER_PHASE}/{2 * N_PER_PHASE}"
+    assert by["no-refresh"]["held at end"] == N_PER_PHASE
+    assert by["no-refresh"]["held mails"] >= 1
+    assert by["no-refresh"]["warning mails"] >= 1
+    # manual refresh: everything eventually completes
+    assert by["manual"]["done"] == f"{2 * N_PER_PHASE}/{2 * N_PER_PHASE}"
+    assert by["manual"]["refreshes"] >= 1
+    # myproxy: everything completes with zero user action
+    assert by["myproxy"]["done"] == f"{2 * N_PER_PHASE}/{2 * N_PER_PHASE}"
+    assert by["myproxy"]["refreshes"] >= 1
+    assert by["myproxy"]["held at end"] == 0

@@ -1,0 +1,103 @@
+"""CLAIM-FLOCK -- §7: Condor flocking vs Condor-G.
+
+"The major difference between Condor flocking and Condor-G is that
+Condor-G allows inter-domain operation on remote resources that require
+authentication, and uses standard protocols that provide access to
+resources controlled by other resource management systems, rather than
+the special-purpose sharing mechanisms of Condor."
+
+Scenario: the user's home Condor pool is tiny (2 slots).  The grid also
+offers a remote Condor pool (8 slots), a PBS cluster (8) and an LSF
+cluster (8).  The same 20-job batch is run under:
+
+* **flocking** -- the schedd flocks to the remote Condor pool: it can
+  reach 2+8 = 10 Condor slots and nothing else;
+* **Condor-G glideins** -- GRAM reaches every site: all 26 slots.
+"""
+
+import pytest
+
+from repro import GridTestbed, JobDescription
+from repro.condor import Schedd, build_pool
+
+from _scenarios import drain
+
+N_JOBS = 20
+RUNTIME = 400.0
+
+
+def run_flocking():
+    from repro.sim import Host, Network, Simulator
+
+    sim = Simulator(seed=705)
+    Network(sim, latency=0.05, jitter=0.01)
+    home = build_pool(sim, "home", workers=2, cycle_interval=20.0)
+    away = build_pool(sim, "away", workers=8, cycle_interval=20.0)
+    # PBS/LSF sites exist but have no Condor daemons: invisible to
+    # flocking (16 slots wasted).
+    submit = Host(sim, "submit")
+    schedd = Schedd(submit, collector=home.collector_contact,
+                    flock_to=[away.collector_contact])
+    ids = [schedd.submit_simple("user", runtime=RUNTIME)
+           for _ in range(N_JOBS)]
+    while not all(schedd.status(j).state == "COMPLETED" for j in ids) \
+            and sim.now < 3 * 10**4:
+        sim.run(until=sim.now + 500.0)
+    ends = [schedd.status(j).end_time for j in ids]
+    machines = {schedd.status(j).matched_to for j in ids}
+    return {
+        "strategy": "Condor flocking",
+        "reachable slots": 10,
+        "done": f"{sum(1 for j in ids if schedd.status(j).state == 'COMPLETED')}"
+                f"/{N_JOBS}",
+        "sites used": len({m.split('@')[1].rsplit('-', 1)[0]
+                           for m in machines if '@' in m}),
+        "makespan (s)": max(ends) if all(ends) else float('nan'),
+    }
+
+
+def run_condor_g():
+    tb = GridTestbed(seed=705)
+    tb.add_site("home", scheduler="condor", cpus=2)
+    tb.add_site("away", scheduler="condor", cpus=8)
+    tb.add_site("pbs", scheduler="pbs", cpus=8)
+    tb.add_site("lsf", scheduler="lsf", cpus=8)
+    agent = tb.add_agent("user")
+    agent.flood_glideins([s.contact for s in tb.sites.values()],
+                         per_site=8, walltime=2 * 10**4,
+                         idle_timeout=2000.0)
+    ids = [agent.submit(JobDescription(runtime=RUNTIME,
+                                       universe="vanilla"))
+           for _ in range(N_JOBS)]
+    drain(tb, lambda: all(agent.status(j).is_terminal for j in ids),
+          cap=3 * 10**4, chunk=500.0)
+    sites = {agent.schedd.jobs[j].matched_to.split("@")[1].split("-")[0]
+             for j in ids}
+    ends = [agent.status(j).end_time for j in ids]
+    return {
+        "strategy": "Condor-G glideins",
+        "reachable slots": 26,
+        "done": f"{sum(1 for j in ids if agent.status(j).is_complete)}"
+                f"/{N_JOBS}",
+        "sites used": len(sites),
+        "makespan (s)": max(ends) - min(agent.status(j).submit_time
+                                        for j in ids),
+    }
+
+
+def run_all():
+    return [run_flocking(), run_condor_g()]
+
+
+def test_claim_flocking_vs_condor_g(benchmark, report):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    report.table(
+        "CLAIM-FLOCK: 20 jobs; tiny home pool + remote Condor/PBS/LSF",
+        rows, order=["strategy", "reachable slots", "done", "sites used",
+                     "makespan (s)"])
+    flock, cg = rows
+    assert flock["done"] == f"{N_JOBS}/{N_JOBS}"
+    assert cg["done"] == f"{N_JOBS}/{N_JOBS}"
+    # Condor-G reaches more of the grid and finishes sooner
+    assert cg["sites used"] >= 3 > flock["sites used"]
+    assert cg["makespan (s)"] < flock["makespan (s)"]

@@ -1,0 +1,67 @@
+"""Benchmark harness plumbing.
+
+Each benchmark reproduces one paper artifact (figure, experience, or
+design claim -- see DESIGN.md's experiment index) and registers a
+human-readable table with the session reporter; the tables are printed
+in the terminal summary so they survive pytest's output capture and land
+in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class Report:
+    """Collects (title, lines) tables across the benchmark session."""
+
+    def __init__(self) -> None:
+        self.sections: list[tuple[str, list[str]]] = []
+
+    def table(self, title: str, rows: list[dict], order=None) -> None:
+        """Render aligned columns from a list of row dicts."""
+        if not rows:
+            self.sections.append((title, ["(no rows)"]))
+            return
+        cols = order or list(rows[0].keys())
+        widths = {c: max(len(str(c)),
+                         *(len(_fmt(r.get(c, ""))) for r in rows))
+                  for c in cols}
+        header = "  ".join(str(c).ljust(widths[c]) for c in cols)
+        sep = "  ".join("-" * widths[c] for c in cols)
+        lines = [header, sep]
+        for row in rows:
+            lines.append("  ".join(
+                _fmt(row.get(c, "")).ljust(widths[c]) for c in cols))
+        self.sections.append((title, lines))
+
+    def note(self, title: str, text: str) -> None:
+        self.sections.append((title, text.splitlines()))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+_REPORT = Report()
+
+
+@pytest.fixture(scope="session")
+def report() -> Report:
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT.sections:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "Condor-G reproduction: experiment tables")
+    for title, lines in _REPORT.sections:
+        tr.write_line("")
+        tr.write_sep("-", title)
+        for line in lines:
+            tr.write_line(line)

@@ -1,0 +1,34 @@
+"""repro: a from-scratch reproduction of Condor-G (HPDC 2001).
+
+Condor-G is a *computation management agent* that lets one user run large
+computations across many administrative domains by combining inter-domain
+Grid protocols (GSI, GRAM, GASS, MDS-2, GridFTP -- the Globus Toolkit)
+with intra-domain computation management (the Condor system), including
+the GlideIn mechanism that builds a personal Condor pool out of Grid
+resources.
+
+Everything runs on a deterministic discrete-event simulator
+(:mod:`repro.sim`); see DESIGN.md for the substitution rationale and the
+experiment index.
+
+Quickstart::
+
+    from repro import GridTestbed, JobDescription
+
+    testbed = GridTestbed(seed=42)
+    site = testbed.add_site("wisc", scheduler="pbs", cpus=16)
+    agent = testbed.add_agent("alice")
+    job = agent.submit(JobDescription(executable="sim.exe",
+                                      runtime=120.0),
+                       resource=site.contact)
+    testbed.run_until_quiet()
+    assert agent.status(job).is_complete
+"""
+
+from .core.api import CondorGAgent, JobDescription, JobStatus
+from .grid.testbed import GridTestbed, Site
+
+__version__ = "1.0.0"
+
+__all__ = ["CondorGAgent", "GridTestbed", "JobDescription", "JobStatus",
+           "Site", "__version__"]

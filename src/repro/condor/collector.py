@@ -1,0 +1,59 @@
+"""The Condor Collector: the pool's soft-state ad registry.
+
+Startds, schedds, and (glided-in) daemons advertise ClassAds here; the
+Negotiator and the Condor-G Scheduler query it.  Identical in spirit to
+the MDS GIIS, but holding Condor ads keyed by (ad type, name) and
+supporting invalidation -- a startd that shuts down gracefully withdraws
+its ad, one that dies silently ages out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..classads import ClassAd, EvalContext, is_true, parse
+from ..sim.hosts import Host
+from ..sim.rpc import Service
+
+
+class Collector(Service):
+    service_name = "collector"
+
+    def __init__(self, host: Host, authorizer=None,
+                 default_ttl: float = 180.0):
+        super().__init__(host, authorizer=authorizer)
+        self.default_ttl = default_ttl
+        # (adtype, name) -> (ad, expiry)
+        self._ads: dict[tuple[str, str], tuple[ClassAd, float]] = {}
+
+    # -- handlers -----------------------------------------------------------
+    def handle_advertise(self, ctx, adtype: str, ad: ClassAd,
+                         ttl: Optional[float] = None) -> bool:
+        name = ad.get("Name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("ad needs a string Name attribute")
+        self._ads[(adtype, name)] = (ad, self.sim.now +
+                                     (ttl or self.default_ttl))
+        return True
+
+    def handle_invalidate(self, ctx, adtype: str, name: str) -> bool:
+        return self._ads.pop((adtype, name), None) is not None
+
+    def handle_query(self, ctx, adtype: str,
+                     constraint: str = "true") -> list[ClassAd]:
+        expr = parse(constraint)
+        out = []
+        for (kind, name), (ad, expiry) in sorted(self._ads.items()):
+            if kind != adtype or expiry < self.sim.now:
+                continue
+            if is_true(expr.eval(EvalContext(my=ad, now=self.sim.now))):
+                out.append(ad)
+        return out
+
+    # -- local inspection -------------------------------------------------------
+    def live_ads(self, adtype: str) -> list[ClassAd]:
+        return [ad for (kind, _), (ad, expiry) in sorted(self._ads.items())
+                if kind == adtype and expiry >= self.sim.now]
+
+    def count(self, adtype: str) -> int:
+        return len(self.live_ads(adtype))

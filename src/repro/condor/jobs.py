@@ -1,0 +1,138 @@
+"""Condor job model: job ads plus execution behaviour.
+
+A Condor job is described by a ClassAd (Requirements/Rank/ImageSize/...)
+and characterized by how much work it does (``runtime`` of slot-seconds)
+and its universe:
+
+* ``vanilla`` -- no checkpointing: preemption restarts it from scratch;
+* ``standard`` -- linked with the Condor syscall/checkpoint library:
+  periodic checkpoints flow to the submit side, preemption resumes from
+  the last checkpoint, and file I/O is redirected to the Shadow as remote
+  system calls (paper §5).
+
+``io_interval``/``io_bytes`` model Remote I/O traffic: every interval the
+job performs a remote syscall of that size through its Shadow, as the
+MW-QAP workers did (paper §6: "each worker used Remote I/O services to
+communicate with the master").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..classads import ClassAd
+
+IDLE = "IDLE"
+MATCHED = "MATCHED"
+RUNNING = "RUNNING"
+COMPLETED = "COMPLETED"
+REMOVED = "REMOVED"
+HELD = "HELD"
+
+_ids = itertools.count(1)
+
+
+def next_cluster_id() -> str:
+    return f"{next(_ids)}.0"
+
+
+@dataclass
+class CondorJob:
+    """One queue entry in a Schedd."""
+
+    job_id: str
+    ad: ClassAd
+    runtime: float
+    universe: str = "vanilla"          # vanilla | standard | grid
+    io_interval: float = 0.0           # 0 = no remote I/O
+    io_bytes: int = 0
+    ckpt_bytes: int = 0                # checkpoint image size (standard)
+    ckpt_server: str = ""              # site-local checkpoint server host
+    state: str = IDLE
+    progress: float = 0.0              # work completed (standard universe)
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    exit_code: Optional[int] = None
+    matched_to: str = ""               # startd name
+    matched_host: str = ""             # host the startd lives on
+    restarts: int = 0
+    checkpoints: int = 0
+    remote_syscalls: int = 0
+    total_goodput: float = 0.0         # work preserved across restarts
+    hold_reason: str = ""
+    on_complete: Optional[Callable[["CondorJob"], None]] = None
+    # Application behaviour run inside the remote sandbox (not persisted;
+    # a recovered queue reruns such jobs only if resubmitted with it).
+    program: Optional[Callable] = None
+    # Submit-side handler for the job's remote syscalls (e.g. a master
+    # serving get_task/put_result to its workers).  Not persisted.
+    syscall_handler: Optional[Callable] = None
+
+    @property
+    def owner(self) -> str:
+        return self.ad.get("Owner", "nobody")
+
+    def queue_record(self) -> dict:
+        """Persistable snapshot (no callables)."""
+        return {
+            "job_id": self.job_id,
+            "ad": str(self.ad),
+            "runtime": self.runtime,
+            "universe": self.universe,
+            "io_interval": self.io_interval,
+            "io_bytes": self.io_bytes,
+            "ckpt_bytes": self.ckpt_bytes,
+            "ckpt_server": self.ckpt_server,
+            "state": self.state,
+            "progress": self.progress,
+            "submit_time": self.submit_time,
+            "exit_code": self.exit_code,
+            "restarts": self.restarts,
+            "checkpoints": self.checkpoints,
+            "hold_reason": self.hold_reason,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CondorJob":
+        job = cls(
+            job_id=record["job_id"],
+            ad=ClassAd.parse(record["ad"]),
+            runtime=record["runtime"],
+            universe=record["universe"],
+            io_interval=record["io_interval"],
+            io_bytes=record["io_bytes"],
+            ckpt_bytes=record.get("ckpt_bytes", 0),
+            ckpt_server=record.get("ckpt_server", ""),
+            state=record["state"],
+            progress=record["progress"],
+            submit_time=record["submit_time"],
+            exit_code=record["exit_code"],
+            restarts=record["restarts"],
+            checkpoints=record["checkpoints"],
+            hold_reason=record.get("hold_reason", ""),
+        )
+        # Anything that was mid-flight when we crashed is idle again.
+        if job.state in (MATCHED, RUNNING):
+            job.state = IDLE
+        return job
+
+
+def job_ad(
+    owner: str,
+    requirements: str = "true",
+    rank: str = "0",
+    image_size: int = 32,
+    **extra: Any,
+) -> ClassAd:
+    """Build a job ad with the conventional attributes."""
+    ad = ClassAd()
+    ad["Owner"] = owner
+    ad["ImageSize"] = image_size
+    ad.set_expression("Requirements", requirements)
+    ad.set_expression("Rank", rank)
+    for key, value in extra.items():
+        ad[key] = value
+    return ad

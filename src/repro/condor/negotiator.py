@@ -1,0 +1,106 @@
+"""The Condor Negotiator: the pool's matchmaker.
+
+Runs a periodic negotiation cycle [25]:
+
+1. query the Collector for unclaimed startd ads and submitter ads;
+2. visit submitters round-robin (a crude fair-share), asking each schedd
+   for its idle jobs;
+3. for each job, find the Rank-best bilaterally matching machine not yet
+   handed out this cycle, and tell the schedd, which then claims the
+   startd directly.
+
+GlideIn startds need nothing special here -- they are ordinary machine
+ads in the collector, which is the whole elegance of the §5 design.
+"""
+
+from __future__ import annotations
+
+from ..classads import ClassAd, best_match, symmetric_match
+from ..sim.errors import RPCError
+from ..sim.hosts import Host
+from ..sim.rpc import Service, call
+
+
+class Negotiator(Service):
+    service_name = "negotiator"
+
+    def __init__(self, host: Host, collector: str,
+                 cycle_interval: float = 30.0, credential=None):
+        super().__init__(host, name="negotiator")
+        self.collector = collector
+        self.cycle_interval = cycle_interval
+        self.credential = credential
+        self.cycles = 0
+        self.matches_made = 0
+        # Fair-share state: matches granted per submitter, decayed each
+        # cycle, orders who negotiates first (lowest usage wins).
+        self.usage: dict[str, float] = {}
+        self.usage_half_life_cycles = 20.0
+        host.spawn(self._cycle_loop(), name="negotiator")
+
+    def _trace(self, event: str, **details) -> None:
+        self.sim.trace.log("negotiator", event, **details)
+
+    def _cycle_loop(self):
+        while True:
+            try:
+                yield from self._one_cycle()
+            except RPCError:
+                pass   # collector briefly unreachable; try next cycle
+            yield self.sim.timeout(self.cycle_interval)
+
+    def _one_cycle(self):
+        self.cycles += 1
+        # exponential decay so old usage is eventually forgiven
+        decay = 0.5 ** (1.0 / self.usage_half_life_cycles)
+        for name in list(self.usage):
+            self.usage[name] *= decay
+        machines = yield from call(
+            self.host, self.collector, "collector", "query",
+            credential=self.credential,
+            adtype="startd", constraint='State == "Unclaimed"')
+        submitters = yield from call(
+            self.host, self.collector, "collector", "query",
+            credential=self.credential,
+            adtype="submitter", constraint="IdleJobs > 0")
+        if not machines or not submitters:
+            return
+        available: list[ClassAd] = list(machines)
+        # fair-share order: least-served submitter negotiates first
+        submitters = sorted(
+            submitters,
+            key=lambda ad: self.usage.get(str(ad.get("Name")), 0.0))
+        for submitter in submitters:
+            schedd_host = submitter.get("ScheddHost")
+            if not schedd_host:
+                continue
+            try:
+                idle = yield from call(self.host, schedd_host, "schedd",
+                                       "get_idle_jobs",
+                                       credential=self.credential)
+            except RPCError:
+                continue
+            for entry in idle:
+                if not available:
+                    return
+                job_ad = entry["ad"]
+                chosen = best_match(job_ad, available, now=self.sim.now)
+                if chosen is None:
+                    continue
+                available.remove(chosen)
+                try:
+                    ok = yield from call(
+                        self.host, schedd_host, "schedd", "matched",
+                        credential=self.credential,
+                        job_id=entry["job_id"],
+                        startd_name=chosen.get("Name"),
+                        startd_host=chosen.get("StartdHost"))
+                except RPCError:
+                    ok = False
+                if ok:
+                    self.matches_made += 1
+                    submitter_name = str(submitter.get("Name"))
+                    self.usage[submitter_name] = \
+                        self.usage.get(submitter_name, 0.0) + 1.0
+                    self._trace("match", job=entry["job_id"],
+                                machine=chosen.get("Name"))

@@ -1,0 +1,65 @@
+"""Pool assembly helpers: build a whole Condor pool in one call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.hosts import Host
+from ..sim.kernel import Simulator
+from .collector import Collector
+from .negotiator import Negotiator
+from .schedd import Schedd
+from .startd import Startd, machine_ad
+
+
+@dataclass
+class CondorPool:
+    """A central manager plus N single-slot worker machines."""
+
+    sim: Simulator
+    name: str
+    central_host: Host
+    collector: Collector
+    negotiator: Negotiator
+    startds: list[Startd] = field(default_factory=list)
+    worker_hosts: list[Host] = field(default_factory=list)
+
+    @property
+    def collector_contact(self) -> str:
+        return self.central_host.name
+
+    def busy_count(self) -> int:
+        return sum(1 for s in self.startds if s.state == "Busy")
+
+
+def build_pool(
+    sim: Simulator,
+    name: str,
+    workers: int,
+    cycle_interval: float = 30.0,
+    mips: int = 100,
+    site: str = "",
+    schedd_host: Optional[Host] = None,
+) -> CondorPool:
+    """Create `<name>-cm` plus `<name>-wN` hosts forming a pool.
+
+    If `schedd_host` is given, a Schedd is attached there pointing at the
+    new pool's collector.
+    """
+    site = site or name
+    central = Host(sim, f"{name}-cm", site=site)
+    collector = Collector(central)
+    negotiator = Negotiator(central, collector=central.name,
+                            cycle_interval=cycle_interval)
+    pool = CondorPool(sim, name, central, collector, negotiator)
+    for i in range(workers):
+        whost = Host(sim, f"{name}-w{i}", site=site)
+        ad = machine_ad(f"slot@{whost.name}", mips=mips, site=site)
+        startd = Startd(whost, f"slot@{whost.name}",
+                        collector=central.name, ad=ad)
+        pool.startds.append(startd)
+        pool.worker_hosts.append(whost)
+    if schedd_host is not None:
+        Schedd(schedd_host, collector=central.name)
+    return pool

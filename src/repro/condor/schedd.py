@@ -1,0 +1,328 @@
+"""The Condor Schedd: the persistent job queue and claim machinery.
+
+This is the "Scheduler" box of the paper's figures.  It:
+
+* keeps every job in a write-ahead queue on the submit machine's disk
+  (crash of the submit machine loses nothing -- §4.2);
+* advertises a submitter ad to one or more collectors (more than one =
+  Condor *flocking*, the §7 baseline);
+* hands idle vanilla/standard jobs to the Negotiator for matchmaking and
+  runs claimed jobs through a Shadow per job;
+* reschedules vacated jobs, resuming standard-universe jobs from their
+  last checkpoint;
+* exposes ``submit/status/remove/hold/release`` -- the local-resource-
+  manager look and feel the paper insists on preserving (§4.1).
+
+Grid-universe jobs are *not* handled here: the Condor-G core
+(:mod:`repro.core`) plugs its GridManager in on top of this queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..classads import ClassAd
+from ..sim.errors import RPCError
+from ..sim.hosts import Host
+from ..sim.rpc import Service, call
+from .jobs import (
+    COMPLETED,
+    CondorJob,
+    HELD,
+    IDLE,
+    MATCHED,
+    REMOVED,
+    RUNNING,
+)
+from .shadow import Shadow
+
+QUEUE_NS = "schedd-queue"
+
+
+def _job_prio(job: CondorJob) -> int:
+    value = job.ad.get("JobPrio", 0)
+    return value if isinstance(value, int) else 0
+
+
+class Schedd(Service):
+    service_name = "schedd"
+
+    ADVERTISE_INTERVAL = 30.0
+
+    def __init__(
+        self,
+        host: Host,
+        name: str = "",
+        collector: Optional[str] = None,
+        flock_to: Optional[list[str]] = None,
+        credential=None,
+    ):
+        super().__init__(host, name="schedd")
+        self.schedd_name = name or f"schedd@{host.name}"
+        self.collector = collector
+        self.flock_to = list(flock_to or [])
+        self.credential = credential
+        self.jobs: dict[str, CondorJob] = {}
+        self._ids = itertools.count(1)
+        self._queue_store = host.stable.namespace(QUEUE_NS)
+        self._recover_queue()
+        self.shadows: dict[str, Shadow] = {}
+        self.completion_hooks: list[Callable[[CondorJob], None]] = []
+        self.vacate_hooks: list[Callable[[CondorJob], None]] = []
+        if collector is not None:
+            host.spawn(self._advertise_loop(), name="schedd-advertise")
+
+    def _trace(self, event: str, **details) -> None:
+        self.sim.trace.log(f"schedd:{self.schedd_name}", event, **details)
+
+    # -- persistence ----------------------------------------------------------
+    def _persist(self, job: CondorJob) -> None:
+        self._queue_store.put(job.job_id, job.queue_record())
+
+    def _recover_queue(self) -> None:
+        for _key, record in self._queue_store.items():
+            job = CondorJob.from_record(record)
+            self.jobs[job.job_id] = job
+
+    # -- submission / local API ---------------------------------------------------
+    def submit(self, job: CondorJob) -> str:
+        job.submit_time = self.sim.now
+        self.jobs[job.job_id] = job
+        self._persist(job)
+        self._trace("submit", job=job.job_id, universe=job.universe,
+                    owner=job.owner)
+        return job.job_id
+
+    def submit_simple(self, owner: str, runtime: float,
+                      universe: str = "vanilla",
+                      requirements: str = "true", rank: str = "0",
+                      **ad_extra) -> str:
+        from .jobs import job_ad, next_cluster_id
+
+        job = CondorJob(
+            job_id=next_cluster_id(),
+            ad=job_ad(owner, requirements=requirements, rank=rank,
+                      **ad_extra),
+            runtime=runtime,
+            universe=universe,
+        )
+        return self.submit(job)
+
+    def status(self, job_id: str) -> CondorJob:
+        return self.jobs[job_id]
+
+    def remove(self, job_id: str) -> bool:
+        job = self.jobs.get(job_id)
+        if job is None or job.state in (COMPLETED, REMOVED):
+            return False
+        job.state = REMOVED
+        job.end_time = self.sim.now
+        self._persist(job)
+        return True
+
+    def hold(self, job_id: str, reason: str = "") -> bool:
+        job = self.jobs.get(job_id)
+        if job is None or job.state not in (IDLE,):
+            return False
+        job.state = HELD
+        job.hold_reason = reason
+        self._persist(job)
+        self._trace("hold", job=job_id, reason=reason)
+        return True
+
+    def release(self, job_id: str) -> bool:
+        job = self.jobs.get(job_id)
+        if job is None or job.state != HELD:
+            return False
+        job.state = IDLE
+        job.hold_reason = ""
+        self._persist(job)
+        self._trace("release", job=job_id)
+        return True
+
+    def vacate_job(self, job_id: str) -> bool:
+        """Migrate a running job: vacate its slot (final checkpoint goes
+        out) and let the next negotiation cycle place it elsewhere --
+        the §5 "migrates the job to another location if requested"."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state != RUNNING or not job.matched_host:
+            return False
+        self._trace("vacate_requested", job=job_id,
+                    startd=job.matched_to)
+        self.host.spawn(self._send_vacate(job),
+                        name=f"vacate:{job_id}")
+        return True
+
+    def _send_vacate(self, job: CondorJob):
+        try:
+            yield from call(self.host, job.matched_host,
+                            f"startd:{job.matched_to}", "vacate",
+                            credential=self.credential)
+        except RPCError:
+            pass    # slot unreachable: the shadow lease handles it
+
+    def idle_jobs(self) -> list[CondorJob]:
+        return [j for j in self.jobs.values()
+                if j.state == IDLE and j.universe in ("vanilla", "standard")]
+
+    def counts(self) -> dict:
+        out: dict[str, int] = {}
+        for job in self.jobs.values():
+            out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    # -- RPC handlers (negotiator-facing) ----------------------------------------
+    def handle_get_idle_jobs(self, ctx) -> list[dict]:
+        # higher JobPrio negotiates first (condor_prio), FIFO within
+        return [{"job_id": j.job_id, "ad": j.ad}
+                for j in sorted(
+                    self.idle_jobs(),
+                    key=lambda j: (-_job_prio(j), j.submit_time))]
+
+    def set_job_prio(self, job_id: str, prio: int) -> bool:
+        """condor_prio: reorder this queue's idle jobs."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return False
+        job.ad["JobPrio"] = prio
+        self._persist(job)
+        return True
+
+    def handle_matched(self, ctx, job_id: str, startd_name: str,
+                       startd_host: str):
+        """The negotiator found us a machine: claim and activate it."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state != IDLE:
+            return False
+        job.state = MATCHED
+        job.matched_to = startd_name
+        job.matched_host = startd_host
+        self._persist(job)
+        ok = yield from self._claim_and_start(job, startd_name, startd_host)
+        if not ok and job.state == MATCHED:
+            job.state = IDLE
+            job.matched_to = ""
+            self._persist(job)
+        return ok
+
+    def handle_submit(self, ctx, owner: str, runtime: float,
+                      universe: str = "vanilla",
+                      requirements: str = "true") -> str:
+        return self.submit_simple(owner, runtime, universe=universe,
+                                  requirements=requirements)
+
+    def handle_query(self, ctx, job_id: str) -> dict:
+        return self.jobs[job_id].queue_record()
+
+    # -- claim + shadow ------------------------------------------------------------
+    def _claim_and_start(self, job: CondorJob, startd_name: str,
+                         startd_host: str):
+        shadow_service = f"shadow:{job.job_id}"
+        try:
+            claimed = yield from call(
+                self.host, startd_host, f"startd:{startd_name}",
+                "request_claim", credential=self.credential,
+                schedd_host=self.host.name, job_id=job.job_id,
+                shadow_service=shadow_service)
+        except RPCError:
+            claimed = False
+        if not claimed:
+            self._trace("claim_refused", job=job.job_id, startd=startd_name)
+            return False
+        shadow = Shadow(self.host, job.job_id,
+                        on_exit=self._job_exited,
+                        on_vacated=self._job_vacated,
+                        syscall_handler=job.syscall_handler)
+        self.shadows[job.job_id] = shadow
+        jobdesc = {
+            "job_id": job.job_id,
+            "runtime": job.runtime,
+            "universe": job.universe,
+            "checkpoint": job.progress,
+            "io_interval": job.io_interval,
+            "io_bytes": job.io_bytes,
+            "ckpt_bytes": job.ckpt_bytes,
+            "ckpt_server": job.ckpt_server,
+            "program": job.program,
+        }
+        try:
+            activated = yield from call(
+                self.host, startd_host, f"startd:{startd_name}",
+                "activate_claim", credential=self.credential,
+                jobdesc=jobdesc)
+        except RPCError:
+            activated = False
+        if not activated:
+            shadow.finished = True
+            shadow._teardown()
+            self.shadows.pop(job.job_id, None)
+            return False
+        job.state = RUNNING
+        if job.start_time is None:
+            job.start_time = self.sim.now
+        self._persist(job)
+        self._trace("job_running", job=job.job_id, startd=startd_name)
+        return True
+
+    # -- shadow callbacks -----------------------------------------------------------
+    def _job_exited(self, job_id: str, code: int) -> None:
+        job = self.jobs.get(job_id)
+        shadow = self.shadows.pop(job_id, None)
+        if job is None:
+            return
+        job.state = COMPLETED
+        job.end_time = self.sim.now
+        job.exit_code = code
+        job.total_goodput = job.runtime
+        if shadow is not None:
+            job.remote_syscalls += shadow.syscall_count
+        self._persist(job)
+        self._trace("job_completed", job=job_id, code=code)
+        if job.on_complete is not None:
+            job.on_complete(job)
+        for hook in self.completion_hooks:
+            hook(job)
+
+    def _job_vacated(self, job_id: str, checkpoint: float) -> None:
+        job = self.jobs.get(job_id)
+        shadow = self.shadows.pop(job_id, None)
+        if job is None or job.state in (COMPLETED, REMOVED):
+            return
+        job.restarts += 1
+        if job.universe == "standard":
+            job.progress = max(job.progress, checkpoint)
+            job.checkpoints += 1
+        else:
+            job.progress = 0.0
+        if shadow is not None:
+            job.remote_syscalls += shadow.syscall_count
+        job.state = IDLE
+        job.matched_to = ""
+        self._persist(job)
+        self._trace("job_vacated", job=job_id, checkpoint=job.progress)
+        for hook in self.vacate_hooks:
+            hook(job)
+
+    # -- advertising ------------------------------------------------------------
+    def _submitter_ad(self) -> ClassAd:
+        ad = ClassAd()
+        ad["Name"] = self.schedd_name
+        ad["ScheddHost"] = self.host.name
+        ad["IdleJobs"] = len(self.idle_jobs())
+        return ad
+
+    def _advertise_loop(self):
+        targets = [self.collector] + self.flock_to
+        while True:
+            for target in targets:
+                try:
+                    yield from call(self.host, target, "collector",
+                                    "advertise",
+                                    credential=self.credential,
+                                    adtype="submitter",
+                                    ad=self._submitter_ad(),
+                                    ttl=self.ADVERTISE_INTERVAL * 3)
+                except RPCError:
+                    pass
+            yield self.sim.timeout(self.ADVERTISE_INTERVAL)

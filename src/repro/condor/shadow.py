@@ -1,0 +1,118 @@
+"""The Condor Shadow: the submit-side half of a running job.
+
+One shadow per running job (paper Figure 2): it receives the job's
+remote system calls, stores its checkpoints, and watches its lease.  If
+the starter goes silent -- glidein killed by the allocation expiring, a
+remote host crash, a partition -- the lease expires and the shadow
+declares the job vacated so the schedd can rematch it, resuming standard-
+universe jobs from the last received checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim.hosts import Host
+from ..sim.rpc import Service
+
+
+class Shadow(Service):
+    """Service ``shadow:<job_id>`` on the submit machine."""
+
+    LEASE_TIMEOUT = 200.0     # > 3x the starter checkpoint interval
+
+    def __init__(
+        self,
+        host: Host,
+        job_id: str,
+        on_exit: Callable[[str, int], None],
+        on_vacated: Callable[[str, float], None],
+        syscall_handler: Optional[Callable] = None,
+    ):
+        super().__init__(host, name=f"shadow:{job_id}")
+        self.job_id = job_id
+        self.on_exit = on_exit
+        self.on_vacated = on_vacated
+        self.syscall_handler = syscall_handler
+        self.last_heartbeat = self.sim.now
+        self.lease_timeout = self.LEASE_TIMEOUT
+        self.last_checkpoint = 0.0
+        self.syscall_count = 0
+        self.bytes_moved = 0
+        self.finished = False
+        self._lease_proc = host.spawn(self._lease_watch(),
+                                      name=f"shadow:{job_id}")
+
+    # -- handlers -----------------------------------------------------------
+    WAN_BANDWIDTH = 1_000_000.0      # bytes/s for checkpoint shipping
+
+    def handle_checkpoint(self, ctx, progress: float, final: bool = False,
+                          interval: float = 0.0, nbytes: int = 0):
+        """Bank a checkpoint/heartbeat.
+
+        ``interval`` (sent with the starter's first beat) negotiates the
+        lease: the shadow must tolerate at least ~3 beat periods of
+        silence, or slow checkpointers get phantom-evicted.  ``nbytes``
+        is the checkpoint image riding along (0 when a site-local
+        checkpoint server took it): the starter blocks for the WAN
+        transfer, which is the cost the checkpoint server removes.
+        """
+        if nbytes > 0 and self.WAN_BANDWIDTH:
+            yield self.sim.timeout(nbytes / self.WAN_BANDWIDTH)
+            self.bytes_moved += nbytes
+        self.last_heartbeat = self.sim.now
+        if interval > 0.0:
+            self.lease_timeout = max(self.lease_timeout, 3.0 * interval)
+        if progress > self.last_checkpoint:
+            self.last_checkpoint = progress
+        return True
+
+    def handle_syscall(self, ctx, op: str, nbytes: int = 0,
+                       payload: Any = None):
+        self.last_heartbeat = self.sim.now
+        self.syscall_count += 1
+        self.bytes_moved += nbytes
+        if self.syscall_handler is not None:
+            result = self.syscall_handler(op, nbytes, payload)
+            if hasattr(result, "send"):     # generator handler
+                result = yield from result
+            return result
+        return {"ok": True}
+
+    def handle_vacated(self, ctx, progress: float = 0.0) -> bool:
+        if self.finished:
+            return True
+        if progress > self.last_checkpoint:
+            self.last_checkpoint = progress
+        self._finish_vacated()
+        return True
+
+    def handle_job_exit(self, ctx, code: int) -> bool:
+        if self.finished:
+            return True
+        self.finished = True
+        self._teardown()
+        self.on_exit(self.job_id, code)
+        return True
+
+    # -- lease ----------------------------------------------------------------
+    def _lease_watch(self):
+        while not self.finished:
+            yield self.sim.timeout(self.lease_timeout / 4)
+            if self.finished:
+                return
+            if self.sim.now - self.last_heartbeat > self.lease_timeout:
+                self.sim.trace.log(f"shadow:{self.job_id}", "lease_expired",
+                                   last_heartbeat=self.last_heartbeat)
+                self._finish_vacated()
+                return
+
+    def _finish_vacated(self) -> None:
+        self.finished = True
+        self._teardown()
+        self.on_vacated(self.job_id, self.last_checkpoint)
+
+    def _teardown(self) -> None:
+        self.shutdown()
+        if self._lease_proc is not None and self._lease_proc.alive:
+            self._lease_proc.kill(cause="shadow done")

@@ -1,0 +1,294 @@
+"""The Condor-G user API (paper §4.1).
+
+"The agent allows the user to treat the Grid as an entirely local
+resource", with operations to submit jobs, query status, cancel, get
+callbacks/e-mail on termination, and read detailed logs.  The
+:class:`CondorGAgent` is that personal desktop agent: everything it
+spawns (Scheduler, GridManager, GASS server, personal Collector/
+Negotiator/Schedd for GlideIns, credential monitor) lives on the user's
+submit machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..condor import CondorJob, Schedd, job_ad, next_cluster_id
+from ..condor.collector import Collector
+from ..condor.negotiator import Negotiator
+from ..gass.server import GassServer
+from ..gram.protocol import GramJobRequest
+from ..gsi.proxy import ProxyCredential
+from ..sim.hosts import Host
+from . import job as J
+from .broker import Broker
+from .credmon import CredentialMonitor
+from .gcat import gcat_wrap
+from .glidein import GlideInManager, GlideInSpec
+from .job import GridJob
+from .scheduler import CondorGScheduler
+from .userlog import Notifier, UserLog
+
+
+@dataclass
+class JobDescription:
+    """What a user hands to :meth:`CondorGAgent.submit`."""
+
+    executable: str = "a.out"
+    arguments: tuple = ()
+    input_size: int = 1000         # bytes staged to the remote site
+    stdin_data: str = ""
+    runtime: float = 1.0
+    walltime: Optional[float] = None
+    cpus: int = 1
+    universe: str = "grid"         # grid | vanilla | standard
+    requirements: str = "true"     # vanilla/standard matchmaking
+    rank: str = "0"
+    io_interval: float = 0.0       # standard universe remote I/O cadence
+    io_bytes: int = 0
+    env: dict = field(default_factory=dict)
+    program: Optional[Callable] = None
+    stream_stdout: bool = True
+    stream_stderr: bool = False
+    output_files: tuple = ()       # scratch file names staged out at end
+    exit_code: int = 0
+    gcat_mss_url: str = ""         # ship output chunks to this MSS base URL
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """A point-in-time snapshot of one job."""
+
+    job_id: str
+    state: str
+    universe: str
+    resource: str = ""
+    exit_code: Optional[int] = None
+    failure_reason: str = ""
+    hold_reason: str = ""
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    attempts: int = 0
+
+    @property
+    def is_complete(self) -> bool:
+        return self.state in ("DONE", "COMPLETED")
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in ("DONE", "COMPLETED", "FAILED", "REMOVED")
+
+
+class CondorGAgent:
+    """One user's computation management agent."""
+
+    def __init__(
+        self,
+        host: Host,
+        user: str,
+        proxy: Optional[ProxyCredential] = None,
+        broker: Optional[Broker] = None,
+        myproxy: Optional[dict] = None,
+        glidein_binaries_url: str = "",
+        personal_pool: bool = True,
+        negotiation_interval: float = 20.0,
+        warn_threshold: float = 3600.0,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.user = user
+        self.notifier = Notifier()
+        self.userlog = UserLog()
+        self.credmon: Optional[CredentialMonitor] = None
+        credential_source = None
+
+        self.scheduler = CondorGScheduler(
+            host, user, broker=broker,
+            credential_source=None,       # wired below once credmon exists
+            notifier=self.notifier, userlog=self.userlog)
+
+        if proxy is not None:
+            self.credmon = CredentialMonitor(
+                self.scheduler, host, user, proxy,
+                warn_threshold=warn_threshold, myproxy=myproxy)
+            credential_source = self.credmon.credential_source
+            self.scheduler.credential_source = credential_source
+
+        # The user's GASS server: staging source + stdout sink.
+        self.gass = GassServer(host, name=f"gass-{user}")
+
+        # Personal Condor pool on the desktop: Collector + Negotiator +
+        # Schedd.  GlideIns join this pool (Figure 2).
+        self.collector: Optional[Collector] = None
+        self.schedd: Optional[Schedd] = None
+        self.glideins: Optional[GlideInManager] = None
+        if personal_pool:
+            self.collector = Collector(host)
+            Negotiator(host, collector=host.name,
+                       cycle_interval=negotiation_interval,
+                       credential=None)
+            self.schedd = Schedd(host, name=f"schedd@{user}",
+                                 collector=host.name)
+            self.glideins = GlideInManager(
+                self.scheduler, collector_host=host.name,
+                credential_source=credential_source,
+                binaries_url=glidein_binaries_url)
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, description: JobDescription,
+               resource: str = "") -> str:
+        """Submit a job; returns its id.  Grid-universe jobs go through
+        GRAM to `resource` (or wherever the broker decides); vanilla/
+        standard jobs enter the personal pool's queue and run on
+        glideins (or any other pool member)."""
+        if description.universe == "grid":
+            return self._submit_grid(description, resource)
+        return self._submit_condor(description)
+
+    def _submit_grid(self, d: JobDescription, resource: str) -> str:
+        job_id = J.next_grid_job_id()
+        exe_url = self.gass.stage_in(f"{job_id}/{d.executable}",
+                                     size=d.input_size)
+        stdin_url = ""
+        if d.stdin_data:
+            stdin_url = self.gass.stage_in(f"{job_id}/stdin",
+                                           data=d.stdin_data)
+        stdout_url = ""
+        if d.stream_stdout:
+            stdout_url = self.gass.url(f"{job_id}/stdout")
+        stderr_url = ""
+        if d.stream_stderr:
+            stderr_url = self.gass.url(f"{job_id}/stderr")
+        output_urls = {name: self.gass.url(f"{job_id}/outputs/{name}")
+                       for name in d.output_files}
+        program = d.program
+        if d.gcat_mss_url and program is not None:
+            credential_source = None
+            if self.credmon is not None:
+                credential_source = self.credmon.credential_source
+            program = gcat_wrap(program, d.gcat_mss_url,
+                                credential_source=credential_source)
+        env = dict(d.env)
+        if stdout_url:
+            env.setdefault("GASS_URL", stdout_url)
+        request = GramJobRequest(
+            executable_url=exe_url,
+            stdin_url=stdin_url,
+            stdout_url=stdout_url,
+            stderr_url=stderr_url,
+            output_files=output_urls,
+            runtime=d.runtime,
+            walltime=d.walltime,
+            cpus=d.cpus,
+            env=env,
+            program=program,
+            exit_code=d.exit_code,
+            label=d.executable,
+        )
+        return self.scheduler.submit(request, resource=resource,
+                                     job_id=job_id)
+
+    def _submit_condor(self, d: JobDescription) -> str:
+        if self.schedd is None:
+            raise RuntimeError("agent built without a personal pool")
+        job = CondorJob(
+            job_id=next_cluster_id(),
+            ad=job_ad(self.user, requirements=d.requirements, rank=d.rank),
+            runtime=d.runtime,
+            universe=d.universe,
+            io_interval=d.io_interval,
+            io_bytes=d.io_bytes,
+            program=d.program,
+        )
+        return self.schedd.submit(job)
+
+    # -- queries ------------------------------------------------------------
+    def status(self, job_id: str) -> JobStatus:
+        if job_id in self.scheduler.jobs:
+            return self._grid_status(self.scheduler.jobs[job_id])
+        if self.schedd is not None and job_id in self.schedd.jobs:
+            return self._condor_status(self.schedd.jobs[job_id])
+        raise KeyError(job_id)
+
+    def _grid_status(self, job: GridJob) -> JobStatus:
+        return JobStatus(
+            job_id=job.job_id, state=job.state, universe="grid",
+            resource=job.resource, exit_code=job.exit_code,
+            failure_reason=job.failure_reason, hold_reason=job.hold_reason,
+            submit_time=job.submit_time, start_time=job.start_time,
+            end_time=job.end_time, attempts=job.attempts)
+
+    def _condor_status(self, job: CondorJob) -> JobStatus:
+        return JobStatus(
+            job_id=job.job_id, state=job.state, universe=job.universe,
+            resource=job.matched_to,
+            exit_code=job.exit_code,
+            hold_reason=job.hold_reason,
+            submit_time=job.submit_time, start_time=job.start_time,
+            end_time=job.end_time, attempts=job.restarts)
+
+    def logs(self, job_id: str) -> list:
+        return self.userlog.for_job(job_id)
+
+    def stdout_of(self, job_id: str) -> str:
+        path = f"{job_id}/stdout"
+        if self.gass.files.exists(path):
+            return self.gass.read(path).data
+        return ""
+
+    def stderr_of(self, job_id: str) -> str:
+        path = f"{job_id}/stderr"
+        if self.gass.files.exists(path):
+            return self.gass.read(path).data
+        return ""
+
+    def output_file(self, job_id: str, name: str):
+        """A staged-out output file (SimFile), or None if not arrived."""
+        path = f"{job_id}/outputs/{name}"
+        if self.gass.files.exists(path):
+            return self.gass.read(path)
+        return None
+
+    def on_termination(self, fn: Callable[[str, str, dict], None]) -> None:
+        self.notifier.subscribe(fn)
+
+    @property
+    def inbox(self) -> list:
+        return self.notifier.inbox
+
+    def all_terminal(self) -> bool:
+        grid_done = self.scheduler.all_terminal()
+        condor_done = True
+        if self.schedd is not None:
+            condor_done = all(
+                j.state in ("COMPLETED", "REMOVED", "HELD")
+                for j in self.schedd.jobs.values())
+        return grid_done and condor_done
+
+    # -- control ------------------------------------------------------------
+    def cancel(self, job_id: str) -> None:
+        if job_id in self.scheduler.jobs:
+            self.sim.spawn(self.scheduler.cancel(job_id),
+                           name=f"cancel:{job_id}")
+        elif self.schedd is not None:
+            self.schedd.remove(job_id)
+
+    def glide_in(self, site: str, count: int = 1, **kwargs) -> list[str]:
+        if self.glideins is None:
+            raise RuntimeError("agent built without a personal pool")
+        return self.glideins.glide_in(
+            GlideInSpec(site=site, count=count, **kwargs))
+
+    def flood_glideins(self, sites: list[str], per_site: int = 1,
+                       **kwargs) -> list[str]:
+        if self.glideins is None:
+            raise RuntimeError("agent built without a personal pool")
+        return self.glideins.flood(sites, per_site=per_site, **kwargs)
+
+    def refresh_proxy(self, proxy: ProxyCredential) -> None:
+        """The user re-ran grid-proxy-init (§4.3)."""
+        if self.credmon is None:
+            raise RuntimeError("agent has no credential monitor")
+        self.credmon.refresh(proxy)

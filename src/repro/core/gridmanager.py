@@ -1,0 +1,302 @@
+"""The GridManager daemon (paper §4.2, Figure 1).
+
+One GridManager per user, created by the Scheduler when grid-universe
+jobs enter the queue, terminating when none remain.  It owns the whole
+remote lifecycle:
+
+* **submission** via the two-phase GRAM protocol, persisting the sequence
+  token before phase 1 and the JobManager contact before phase 2, so a
+  submit-machine crash at *any* point resumes without duplicating or
+  losing the job;
+* **failure detection** by probing JobManagers, with the exact §4.2
+  decision tree: JobManager silent -> probe the Gatekeeper; Gatekeeper
+  answers -> restart the JobManager; Gatekeeper silent -> crash and
+  partition are indistinguishable, so keep probing until contact returns,
+  then restart/reconnect (the revived JobManager either resumes watching
+  or reports that the job finished during the outage);
+* **resubmission** of jobs that failed for transient, non-application
+  reasons;
+* **status callbacks** (a sink service) backed up by periodic polling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..gram.client import Gram2Client, GramClientError
+from ..sim.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    RPCError,
+    RPCTimeout,
+)
+from ..sim.hosts import Host
+from ..sim.rpc import Service
+from . import job as J
+from .job import GridJob
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import CondorGScheduler
+
+# Failure reasons worth resubmitting (infrastructure, not the app).
+_TRANSIENT_PREFIXES = (
+    "stage-in failed",
+    "local scheduler submission failed",
+    "commit window expired",
+    "jobmanager crashed",
+    "lost contact",
+    "gatekeeper busy",
+)
+
+
+def _is_transient(reason: str) -> bool:
+    return any(reason.startswith(p) for p in _TRANSIENT_PREFIXES)
+
+
+class GridManager(Service):
+    """Callback sink + the per-user submission/probing machinery."""
+
+    PROBE_INTERVAL = 30.0
+    POLL_INTERVAL = 20.0
+
+    def __init__(
+        self,
+        scheduler: "CondorGScheduler",
+        user: str,
+        host: Host,
+        credential_source=None,
+    ):
+        self.callback_service = f"gramcb:{user}"
+        super().__init__(host, name=self.callback_service)
+        self.scheduler = scheduler
+        self.user = user
+        self.client = Gram2Client(host, credential_source=credential_source)
+        self.exited = False
+        self._wake = self.sim.event(name=f"gm-wake:{user}")
+        self._procs = [
+            host.spawn(self._submit_loop(), name=f"gridmanager:{user}"),
+            host.spawn(self._probe_loop(), name=f"gm-probe:{user}"),
+            host.spawn(self._poll_loop(), name=f"gm-poll:{user}"),
+        ]
+        self.sim.trace.log("gridmanager", "start", user=user)
+
+    # -- plumbing -----------------------------------------------------------
+    def _trace(self, event: str, **details) -> None:
+        self.sim.trace.log("gridmanager", event, user=self.user, **details)
+
+    def kick(self) -> None:
+        if not self._wake.triggered and not self._wake._scheduled:
+            self._wake.succeed(None)
+
+    def _jobs(self) -> list[GridJob]:
+        return self.scheduler.jobs_for_user(self.user)
+
+    # -- submission ------------------------------------------------------------
+    def _submit_loop(self):
+        while not self.exited:
+            for job in self._jobs():
+                if job.state == J.UNSUBMITTED and \
+                        self.sim.now >= job.backoff_until:
+                    yield from self._submit_one(job)
+            if self._check_all_done():
+                return
+            self._wake = self.sim.event(name=f"gm-wake:{self.user}")
+            index, _ = yield self.sim.any_of(
+                [self._wake, self.sim.timeout(self.POLL_INTERVAL)])
+
+    def _submit_one(self, job: GridJob):
+        if not job.resource:
+            resource = yield from self.scheduler.pick_resource(job)
+            if resource is None:
+                return     # broker has no candidate yet; retry next pass
+            job.resource = resource
+        job.state = J.SUBMITTING
+        job.attempts += 1
+        job.seq = f"{job.job_id}/{job.attempts}"
+        job.submit_time = job.submit_time or self.sim.now
+        self.scheduler.persist(job)
+        self.scheduler.log(job, "submit", resource=job.resource,
+                           attempt=job.attempts)
+        try:
+            response = yield from self.client.submit_phase1(
+                job.resource, job.request, seq=job.seq,
+                callback=(self.host.name, self.callback_service))
+        except (GramClientError, RPCError) as exc:
+            if "JobManager limit" in str(exc):
+                # Gatekeeper at capacity: congestion, not failure --
+                # back off without consuming a retry attempt.
+                job.attempts -= 1
+                job.state = J.UNSUBMITTED
+                job.backoff_until = self.sim.now + 60.0
+                self.scheduler.persist(job)
+                self._trace("gatekeeper_busy_backoff", job=job.job_id,
+                            until=job.backoff_until)
+                return
+            self._submission_failed(job, exc)
+            return
+        job.jmid = response["jmid"]
+        job.contact = response["contact"]
+        self.scheduler.persist(job)
+        try:
+            yield from self.client.commit(job.contact, job.jmid)
+        except (GramClientError, RPCError) as exc:
+            self._submission_failed(job, exc)
+            return
+        job.committed = True
+        job.state = J.PENDING
+        self.scheduler.persist(job)
+        self._trace("submitted", job=job.job_id, jmid=job.jmid,
+                    resource=job.resource)
+
+    def _submission_failed(self, job: GridJob, exc: Exception) -> None:
+        if isinstance(exc, (AuthenticationError, AuthorizationError)):
+            self.scheduler.credential_problem(job, str(exc))
+            return
+        self._remote_failure(job, f"local scheduler submission failed: "
+                                  f"{exc}")
+
+    # -- callbacks ------------------------------------------------------------
+    def handle_gram_callback(self, ctx, jmid: str, state: str,
+                             failure_reason: str = "",
+                             exit_code: Optional[int] = None) -> bool:
+        job = self._job_by_jmid(jmid)
+        if job is None:
+            return False
+        self._apply_remote_state(job, state, failure_reason, exit_code)
+        return True
+
+    def _job_by_jmid(self, jmid: str) -> Optional[GridJob]:
+        for job in self._jobs():
+            if job.jmid == jmid:
+                return job
+        return None
+
+    def _apply_remote_state(self, job: GridJob, state: str,
+                            failure_reason: str,
+                            exit_code: Optional[int]) -> None:
+        if job.is_terminal:
+            return
+        if state == "PENDING" and job.state != J.PENDING:
+            job.state = J.PENDING
+            self.scheduler.persist(job)
+        elif state == "ACTIVE" and job.state != J.ACTIVE:
+            job.state = J.ACTIVE
+            job.start_time = self.sim.now
+            self.scheduler.persist(job)
+            self.scheduler.log(job, "execute", resource=job.resource)
+        elif state == "DONE":
+            job.state = J.DONE
+            job.end_time = self.sim.now
+            job.exit_code = exit_code if exit_code is not None else 0
+            self.scheduler.persist(job)
+            self.scheduler.job_finished(job)
+            self.kick()
+        elif state == "FAILED":
+            self._remote_failure(job, failure_reason)
+
+    def _remote_failure(self, job: GridJob, reason: str) -> None:
+        if job.is_terminal:
+            return
+        self.scheduler.log(job, "remote_failure", reason=reason,
+                           attempt=job.attempts)
+        if _is_transient(reason) and job.attempts < job.max_attempts:
+            # Resubmit: new logical attempt, broker may pick a new site.
+            job.state = J.UNSUBMITTED
+            job.jmid = ""
+            job.contact = ""
+            job.committed = False
+            if self.scheduler.broker is not None:
+                job.resource = ""
+            self.scheduler.persist(job)
+            self._trace("resubmit", job=job.job_id, reason=reason)
+            self.kick()
+        else:
+            job.state = J.FAILED
+            job.end_time = self.sim.now
+            job.failure_reason = reason
+            self.scheduler.persist(job)
+            self.scheduler.job_finished(job)
+            self.kick()
+
+    # -- polling backstop ----------------------------------------------------
+    def _poll_loop(self):
+        while not self.exited:
+            yield self.sim.timeout(self.POLL_INTERVAL)
+            for job in self._watchable_jobs():
+                try:
+                    status = yield from self.client.status(job.contact,
+                                                           job.jmid)
+                except (RPCError, AuthenticationError):
+                    continue    # probe loop owns failure handling
+                self._apply_remote_state(
+                    job, status["state"], status.get("failure_reason", ""),
+                    status.get("exit_code"))
+
+    def _watchable_jobs(self) -> list[GridJob]:
+        return [job for job in self._jobs()
+                if job.committed and job.jmid and not job.is_terminal
+                and job.state in (J.PENDING, J.ACTIVE)]
+
+    # -- failure detection (§4.2 decision tree) ----------------------------------
+    def _probe_loop(self):
+        while not self.exited:
+            yield self.sim.timeout(self.PROBE_INTERVAL)
+            for job in self._watchable_jobs():
+                yield from self._probe_job(job)
+
+    def _probe_job(self, job: GridJob):
+        try:
+            yield from self.client.probe_jobmanager(job.contact, job.jmid)
+            return    # alive
+        except RPCTimeout:
+            pass
+        except AuthenticationError as exc:
+            self.scheduler.credential_problem(job, str(exc))
+            return
+        except RPCError:
+            pass
+        self._trace("jobmanager_silent", job=job.job_id, jmid=job.jmid)
+        try:
+            yield from self.client.ping_gatekeeper(job.contact)
+        except (RPCError, AuthenticationError):
+            # Machine crash or network failure: indistinguishable (§4.2).
+            # Keep the job and retry on the next probe round.
+            self._trace("resource_unreachable", job=job.job_id,
+                        contact=job.contact)
+            return
+        # Gatekeeper is alive: only the JobManager died.  Restart it.
+        yield from self._restart_jobmanager(job)
+
+    def _restart_jobmanager(self, job: GridJob):
+        try:
+            yield from self.client.restart_jobmanager(job.contact, job.jmid)
+            self._trace("jobmanager_restarted", job=job.job_id,
+                        jmid=job.jmid)
+        except RPCTimeout:
+            return    # lost it again; next probe round retries
+        except RPCError as exc:
+            # No state file: the JobManager never survived to persist.
+            self._remote_failure(job, f"jobmanager crashed: {exc}")
+            return
+        # Point the revived JobManager's streaming at our GASS server.
+        if job.request.stdout_url:
+            try:
+                yield from self.client.update_env(
+                    job.contact, job.jmid, "GASS_URL",
+                    job.request.stdout_url)
+            except RPCError:
+                pass
+
+    # -- exit ---------------------------------------------------------------
+    def _check_all_done(self) -> bool:
+        jobs = self._jobs()
+        if jobs and all(job.is_terminal for job in jobs):
+            self.exited = True
+            self._trace("exit", jobs=len(jobs))
+            self.shutdown()
+            for proc in self._procs:
+                if proc.alive:
+                    proc.kill(cause="gridmanager exit")
+            self.scheduler.gridmanager_exited(self.user)
+            return True
+        return False

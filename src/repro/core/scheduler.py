@@ -1,0 +1,204 @@
+"""The Condor-G Scheduler: the persistent queue of grid jobs.
+
+The Scheduler is the first box of Figure 1: it accepts user submissions,
+stores every job (and each job's protocol progress) in the submit
+machine's stable storage, spawns one GridManager per user with queued
+grid jobs, and is the point where holds/releases and completion
+notifications happen.  After a submit-machine crash,
+:func:`recover_scheduler` rebuilds the queue from disk and the recovered
+GridManager reconnects to (or safely resubmits) every job -- the §4.2
+"protect against local failure" story.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.hosts import Host
+from . import job as J
+from .broker import Broker
+from .gridmanager import GridManager
+from .job import GridJob, next_grid_job_id
+from .userlog import Notifier, UserLog
+
+QUEUE_NS = "condorg-queue"
+
+
+class CondorGScheduler:
+    """Per-user persistent job queue + GridManager lifecycle."""
+
+    def __init__(
+        self,
+        host: Host,
+        user: str,
+        broker: Optional[Broker] = None,
+        credential_source=None,
+        notifier: Optional[Notifier] = None,
+        userlog: Optional[UserLog] = None,
+        recover: bool = True,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.user = user
+        self.broker = broker
+        self.credential_source = credential_source
+        self.notifier = notifier or Notifier()
+        self.userlog = userlog or UserLog()
+        self.jobs: dict[str, GridJob] = {}
+        self._store = host.stable.namespace(f"{QUEUE_NS}:{user}")
+        self.gridmanager: Optional[GridManager] = None
+        if recover:
+            self._recover_queue()
+
+    # -- persistence ----------------------------------------------------------
+    def persist(self, job: GridJob) -> None:
+        self._store.put(job.job_id, job.queue_record())
+
+    def _recover_queue(self) -> None:
+        for _key, record in self._store.items():
+            job = GridJob.from_record(record)
+            self.jobs[job.job_id] = job
+        live = [j for j in self.jobs.values() if not j.is_terminal]
+        if live:
+            self.sim.trace.log("scheduler", "recovered", user=self.user,
+                               jobs=len(live))
+            self._ensure_gridmanager()
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, request, resource: str = "",
+               job_id: str = "") -> str:
+        job = GridJob(job_id=job_id or next_grid_job_id(),
+                      request=request, resource=resource)
+        job.submit_time = self.sim.now
+        self.jobs[job.job_id] = job
+        self.persist(job)
+        self.log(job, "queued", resource=resource or "(broker)")
+        self._ensure_gridmanager()
+        if self.gridmanager is not None:
+            self.gridmanager.kick()
+        return job.job_id
+
+    def _ensure_gridmanager(self) -> None:
+        if self.gridmanager is None or self.gridmanager.exited:
+            self.gridmanager = GridManager(
+                self, self.user, self.host,
+                credential_source=self.credential_source)
+
+    def gridmanager_exited(self, user: str) -> None:
+        self.gridmanager = None
+
+    # -- queries ------------------------------------------------------------
+    def jobs_for_user(self, user: str) -> list[GridJob]:
+        return sorted(self.jobs.values(), key=lambda j: j.job_id)
+
+    def status(self, job_id: str) -> GridJob:
+        return self.jobs[job_id]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for job in self.jobs.values():
+            out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    def all_terminal(self) -> bool:
+        return all(j.is_terminal for j in self.jobs.values())
+
+    # -- broker ---------------------------------------------------------------
+    def pick_resource(self, job: GridJob):
+        if self.broker is None:
+            return None
+        result = yield from self.broker.pick(job)
+        return result
+
+    # -- cancellation -----------------------------------------------------------
+    def cancel(self, job_id: str):
+        """Generator: cancel a job locally and remotely."""
+        job = self.jobs.get(job_id)
+        if job is None or job.is_terminal:
+            return False
+        if job.committed and job.jmid and self.gridmanager is not None:
+            try:
+                yield from self.gridmanager.client.cancel(job.contact,
+                                                          job.jmid)
+            except Exception:  # noqa: BLE001 - cancel is best effort
+                pass
+        job.state = J.FAILED
+        job.failure_reason = "removed by user"
+        job.end_time = self.sim.now
+        self.persist(job)
+        self.log(job, "removed")
+        if self.gridmanager is not None:
+            self.gridmanager.kick()
+        return True
+
+    # -- holds ---------------------------------------------------------------
+    def hold_for_credentials(self, user: str, reason: str) -> int:
+        held = 0
+        for job in self.jobs.values():
+            if job.state in (J.UNSUBMITTED,):
+                job.state = J.HELD
+                job.hold_reason = reason
+                self.persist(job)
+                self.log(job, "held", reason=reason)
+                held += 1
+        return held
+
+    def release_credential_holds(self, user: str) -> int:
+        released = 0
+        for job in self.jobs.values():
+            if job.state == J.HELD:
+                job.state = J.UNSUBMITTED
+                job.hold_reason = ""
+                self.persist(job)
+                self.log(job, "released")
+                released += 1
+        if released:
+            self._ensure_gridmanager()
+            self.gridmanager.kick()
+        return released
+
+    def credential_problem(self, job: GridJob, reason: str) -> None:
+        """A GRAM operation failed authentication: hold the job."""
+        if job.is_terminal:
+            return
+        job.state = J.HELD
+        job.hold_reason = f"credential problem: {reason}"
+        self.persist(job)
+        self.log(job, "held", reason=job.hold_reason)
+        self.notifier.email(
+            self.sim.now, f"{self.user}@example.edu",
+            subject="job held: credential problem",
+            body=f"{job.job_id}: {reason}")
+
+    # -- completion -----------------------------------------------------------
+    def job_finished(self, job: GridJob) -> None:
+        event = "terminate" if job.state == J.DONE else "failed"
+        self.log(job, event, exit_code=job.exit_code,
+                 reason=job.failure_reason)
+        self.notifier.fire(job.job_id, event,
+                           exit_code=job.exit_code,
+                           reason=job.failure_reason)
+        if job.state == J.FAILED:
+            self.notifier.email(
+                self.sim.now, f"{self.user}@example.edu",
+                subject=f"job failed: {job.job_id}",
+                body=job.failure_reason)
+
+    # -- logging ------------------------------------------------------------
+    def log(self, job: GridJob, event: str, **details) -> None:
+        job.record_event(self.sim.now, event, **details)
+        self.userlog.add(self.sim.now, job.job_id, event, **details)
+        self.sim.trace.log("scheduler", event, user=self.user,
+                           job=job.job_id, **details)
+
+
+def install_recovery(host: Host, make_scheduler) -> None:
+    """Re-create the scheduler from its on-disk queue at every reboot.
+
+    ``make_scheduler()`` must build a fresh scheduler (with recover=True)
+    and re-wire whatever the surrounding agent needs.
+    """
+    def boot(_host: Host) -> None:
+        make_scheduler()
+
+    host.add_boot_action(boot)

@@ -1,0 +1,112 @@
+"""Condor submit-description files (paper §4.1 look and feel).
+
+Users drove Condor-G exactly the way they drove Condor: a submit file
+plus ``condor_submit``.  :func:`parse_submit_file` understands the
+classic dialect::
+
+    universe    = grid
+    executable  = sim.exe
+    arguments   = -n 42
+    grid_resource = wisc-gk
+    runtime     = 300
+    walltime    = 3600
+    cpus        = 2
+    requirements = TARGET.Arch == "INTEL"
+    rank        = TARGET.Mips
+    environment = A=1 B=2
+    queue 3
+
+yielding ``(JobDescription, resource)`` pairs (three identical ones
+here).  ``$(Process)`` in ``arguments`` expands per queued instance,
+the standard idiom for parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from .api import JobDescription
+
+
+class SubmitFileError(ValueError):
+    """Malformed submit description."""
+
+
+_FLOAT_KEYS = {"runtime", "walltime"}
+_INT_KEYS = {"cpus", "input_size", "io_bytes", "exit_code"}
+
+
+def parse_submit_file(text: str) -> list[tuple[JobDescription, str]]:
+    """Parse a submit description; returns [(description, resource)]."""
+    attrs: dict[str, str] = {}
+    out: list[tuple[JobDescription, str]] = []
+    process = 0
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        lowered = line.lower()
+        if lowered == "queue" or lowered.startswith("queue "):
+            count_text = line[5:].strip()
+            try:
+                count = int(count_text) if count_text else 1
+            except ValueError as exc:
+                raise SubmitFileError(
+                    f"line {lineno}: bad queue count {count_text!r}"
+                ) from exc
+            if count < 1:
+                raise SubmitFileError(f"line {lineno}: queue count must "
+                                      f"be positive")
+            for _ in range(count):
+                out.append(_build(attrs, process, lineno))
+                process += 1
+            continue
+        key, eq, value = line.partition("=")
+        if not eq:
+            raise SubmitFileError(
+                f"line {lineno}: expected 'key = value' or 'queue'")
+        attrs[key.strip().lower()] = value.strip()
+    if not out:
+        raise SubmitFileError("no 'queue' statement")
+    return out
+
+
+def _build(attrs: dict[str, str], process: int,
+           lineno: int) -> tuple[JobDescription, str]:
+    kwargs: dict = {}
+    resource = attrs.get("grid_resource", "")
+    for key, value in attrs.items():
+        if key == "grid_resource":
+            continue
+        if key == "arguments":
+            expanded = value.replace("$(process)", str(process)) \
+                            .replace("$(Process)", str(process))
+            kwargs["arguments"] = tuple(expanded.split())
+        elif key == "environment":
+            env = {}
+            for pair in value.split():
+                name, eq, val = pair.partition("=")
+                if not eq:
+                    raise SubmitFileError(
+                        f"line {lineno}: bad environment entry {pair!r}")
+                env[name] = val
+            kwargs["env"] = env
+        elif key in _FLOAT_KEYS:
+            kwargs[key] = float(value)
+        elif key in _INT_KEYS:
+            kwargs[key] = int(value)
+        elif key in ("universe", "executable", "requirements", "rank",
+                     "stdin_data", "gcat_mss_url"):
+            kwargs[key] = value
+        else:
+            raise SubmitFileError(
+                f"unknown submit attribute {key!r}")
+    description = JobDescription(**kwargs)
+    if description.universe == "grid" and not resource:
+        # fine: the broker will place it
+        pass
+    return description, resource
+
+
+def submit_from_file(agent, text: str) -> list[str]:
+    """condor_submit: parse and submit; returns the new job ids."""
+    return [agent.submit(description, resource=resource)
+            for description, resource in parse_submit_file(text)]

@@ -1,0 +1,72 @@
+"""The user job log and the notification channel (paper §4.1).
+
+Users can "obtain access to detailed logs, providing a complete history
+of their jobs' execution" and "be informed of job termination or
+problems, via callbacks or asynchronous mechanisms such as e-mail".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    time: float
+    job_id: str
+    event: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time:12.3f}] {self.job_id:<14} {self.event:<12} {kv}"
+
+
+class UserLog:
+    """Append-only per-agent event log, queryable per job."""
+
+    def __init__(self) -> None:
+        self.events: list[LogEvent] = []
+
+    def add(self, time: float, job_id: str, event: str,
+            **details: Any) -> None:
+        self.events.append(LogEvent(time, job_id, event, details))
+
+    def for_job(self, job_id: str) -> list[LogEvent]:
+        return [e for e in self.events if e.job_id == job_id]
+
+    def dump(self, job_id: Optional[str] = None) -> str:
+        events = self.events if job_id is None else self.for_job(job_id)
+        return "\n".join(str(e) for e in events)
+
+
+@dataclass(frozen=True)
+class Email:
+    time: float
+    to: str
+    subject: str
+    body: str
+
+
+class Notifier:
+    """Simulated e-mail plus synchronous callbacks."""
+
+    def __init__(self) -> None:
+        self.inbox: list[Email] = []
+        self.callbacks: list[Callable[[str, str, dict], None]] = []
+
+    def email(self, time: float, to: str, subject: str,
+              body: str = "") -> None:
+        self.inbox.append(Email(time, to, subject, body))
+
+    def subscribe(self, fn: Callable[[str, str, dict], None]) -> None:
+        """fn(job_id, event, details) on every job transition."""
+        self.callbacks.append(fn)
+
+    def fire(self, job_id: str, event: str, **details: Any) -> None:
+        for fn in self.callbacks:
+            fn(job_id, event, details)
+
+    def emails_about(self, fragment: str) -> list[Email]:
+        return [m for m in self.inbox if fragment in m.subject]

@@ -1,0 +1,8 @@
+"""DAGMan: dependency-driven job orchestration over the Condor-G agent."""
+
+from .dag import Dag, DagError, DagNode
+from .dagman import DagContext, DagMan
+from .parser import parse_dag
+
+__all__ = ["Dag", "DagContext", "DagError", "DagMan", "DagNode",
+           "parse_dag"]

@@ -1,0 +1,79 @@
+"""Parser for a DAGMan-style DAG description format.
+
+Supported statements (one per line, ``#`` comments)::
+
+    JOB <name> <description-key>
+    PARENT <p1> [p2 ...] CHILD <c1> [c2 ...]
+    RETRY <name> <count>
+    PRIORITY <name> <value>
+
+``description-key`` indexes a caller-supplied table mapping keys to
+(JobDescription, resource) pairs or action callables -- the stand-in for
+DAGMan's per-node submit files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from .dag import Dag, DagError, DagNode
+
+
+def parse_dag(text: str, descriptions: Mapping[str, Any]) -> Dag:
+    dag = Dag()
+    edges: list[tuple[list[str], list[str]]] = []
+    retries: dict[str, int] = {}
+    priorities: dict[str, int] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        words = line.split()
+        keyword = words[0].upper()
+        if keyword == "JOB":
+            if len(words) != 3:
+                raise DagError(f"line {lineno}: JOB <name> <desc-key>")
+            name, key = words[1], words[2]
+            if key not in descriptions:
+                raise DagError(f"line {lineno}: unknown description "
+                               f"{key!r}")
+            entry = descriptions[key]
+            node = DagNode(name=name)
+            if callable(entry):
+                node.action = entry
+            else:
+                description, resource = entry
+                node.description = description
+                node.resource = resource
+            dag.add_node(node)
+        elif keyword == "PARENT":
+            if "CHILD" not in [w.upper() for w in words]:
+                raise DagError(f"line {lineno}: PARENT ... CHILD ...")
+            split = [w.upper() for w in words].index("CHILD")
+            parents = words[1:split]
+            children = words[split + 1:]
+            if not parents or not children:
+                raise DagError(f"line {lineno}: empty PARENT/CHILD list")
+            edges.append((parents, children))
+        elif keyword == "RETRY":
+            if len(words) != 3:
+                raise DagError(f"line {lineno}: RETRY <name> <count>")
+            retries[words[1]] = int(words[2])
+        elif keyword == "PRIORITY":
+            if len(words) != 3:
+                raise DagError(f"line {lineno}: PRIORITY <name> <value>")
+            priorities[words[1]] = int(words[2])
+        else:
+            raise DagError(f"line {lineno}: unknown keyword {words[0]!r}")
+    for parents, children in edges:
+        dag.add_dependency(parents, children)
+    for name, count in retries.items():
+        if name not in dag.nodes:
+            raise DagError(f"RETRY for unknown node {name!r}")
+        dag.nodes[name].retries = count
+    for name, value in priorities.items():
+        if name not in dag.nodes:
+            raise DagError(f"PRIORITY for unknown node {name!r}")
+        dag.nodes[name].priority = value
+    dag.validate()
+    return dag

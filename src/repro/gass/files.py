@@ -1,0 +1,74 @@
+"""Simulated files.
+
+File *content* is modelled as a (possibly empty) string plus an explicit
+size in bytes, so large transfers can be represented without large
+strings: executables and physics datasets carry only a size, while
+stdout/stderr streams carry real text (benchmarks assert on both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimFile:
+    """A named blob with a size and optional literal content."""
+
+    path: str
+    size: int = 0
+    data: str = ""
+
+    def __post_init__(self) -> None:
+        if self.data and self.size == 0:
+            self.size = len(self.data)
+
+    def append(self, text: str) -> None:
+        self.data += text
+        self.size += len(text)
+
+
+class FileStore:
+    """A host's file namespace, optionally persisted to stable storage."""
+
+    def __init__(self, stable_ns=None):
+        self._files: dict[str, SimFile] = {}
+        self._stable = stable_ns
+        if stable_ns is not None:
+            for path, record in stable_ns.items():
+                self._files[path] = SimFile(**record)
+
+    def put(self, file: SimFile) -> None:
+        self._files[file.path] = file
+        self._persist(file)
+
+    def get(self, path: str) -> SimFile:
+        f = self._files.get(path)
+        if f is None:
+            raise FileNotFoundError(path)
+        return f
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def append(self, path: str, text: str) -> SimFile:
+        f = self._files.get(path)
+        if f is None:
+            f = SimFile(path)
+            self._files[path] = f
+        f.append(text)
+        self._persist(f)
+        return f
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+        if self._stable is not None:
+            self._stable.delete(path)
+
+    def list(self) -> list[str]:
+        return sorted(self._files)
+
+    def _persist(self, f: SimFile) -> None:
+        if self._stable is not None:
+            self._stable.put(f.path, {"path": f.path, "size": f.size,
+                                      "data": f.data})

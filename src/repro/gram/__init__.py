@@ -1,0 +1,30 @@
+"""GRAM: Grid Resource Allocation and Management (paper §3.2).
+
+Gatekeeper + JobManager on the resource side; two-phase-commit client on
+the submit side; the legacy one-phase client kept as an exactly-once
+baseline.
+"""
+
+from .client import Gram1Client, Gram2Client, GramClientError
+from .gatekeeper import Gatekeeper, GatekeeperBusy
+from .jobmanager import JobManager
+from .protocol import (
+    ACTIVE,
+    DONE,
+    FAILED,
+    GRAM_TERMINAL,
+    GramJobRequest,
+    PENDING,
+    STAGE_IN,
+    UNCOMMITTED,
+    gram_state_of,
+    to_lrm_spec,
+)
+
+__all__ = [
+    "ACTIVE", "DONE", "FAILED", "GRAM_TERMINAL", "Gatekeeper",
+    "GatekeeperBusy", "Gram1Client", "Gram2Client", "GramClientError",
+    "GramJobRequest",
+    "JobManager", "PENDING", "STAGE_IN", "UNCOMMITTED", "gram_state_of",
+    "to_lrm_spec",
+]

@@ -1,0 +1,168 @@
+"""The Globus Gatekeeper (paper Figure 1, §3.2).
+
+The gatekeeper is the site's door: it GSI-authenticates every request,
+maps the Grid identity to a local account through the gridmap, and
+creates one JobManager per accepted submission.
+
+Two-phase submission (GRAM-2 dialect co-designed with the UW team):
+
+1. ``submit(seq, request)`` -- idempotent on ``(client, seq)``: a
+   repeated sequence number returns the *cached* response instead of
+   creating a second JobManager, which is how the resource distinguishes
+   a lost request from a lost response.
+2. ``commit(jmid)`` -- releases the JobManager to actually run the job.
+
+The legacy single-phase ``submit_v1`` (no sequence numbers, immediate
+commit) is kept as the baseline for the CLAIM-2PC benchmark: retrying it
+can duplicate jobs, not retrying it can lose them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..sim.hosts import Host
+from ..sim.rpc import Service
+from .jobmanager import STATE_NS, JobManager
+from .protocol import GramJobRequest
+
+
+class GatekeeperBusy(Exception):
+    """The interface machine refuses new JobManagers (at its limit).
+
+    Transient by nature: clients back off and retry, or the broker
+    routes elsewhere.
+    """
+
+
+class Gatekeeper(Service):
+    """Service ``gatekeeper`` on a site's interface machine."""
+
+    service_name = "gatekeeper"
+
+    def __init__(
+        self,
+        host: Host,
+        lrm_contact: str,
+        authorizer=None,
+        site: str = "",
+        restart_on_boot: bool = True,
+        max_jobmanagers: Optional[int] = None,
+    ):
+        super().__init__(host, authorizer=authorizer)
+        self.lrm_contact = lrm_contact
+        self.site = site or host.name
+        # Interface machines of the era melted under too many JobManager
+        # processes; sites capped them and refused further submissions.
+        self.max_jobmanagers = max_jobmanagers
+        self.rejected_busy = 0
+        self._ids = itertools.count(1)
+        # (client_host, seq) -> jmid: dedup cache for two-phase submits.
+        # Volatile on purpose: a gatekeeper crash wipes it, and safety
+        # then rests on the client-side stable log (§3.2).
+        self._seen: dict[tuple[str, int], str] = {}
+        if restart_on_boot:
+            host.add_boot_action(self._reboot)
+
+    def _reboot(self, host: Host) -> None:
+        """Reinstall the gatekeeper service after a host restart.
+
+        JobManagers are *not* auto-revived: per §4.2 it is the client
+        (GridManager) that detects their death and requests restarts.
+        """
+        fresh = Gatekeeper.__new__(Gatekeeper)
+        Service.__init__(fresh, host, authorizer=self.authorizer)
+        fresh.lrm_contact = self.lrm_contact
+        fresh.site = self.site
+        fresh._ids = self._ids        # keep ids unique across reboots
+        fresh._seen = {}
+        fresh.max_jobmanagers = self.max_jobmanagers
+        fresh.rejected_busy = 0
+        # NB: the original boot action stays registered on the host and
+        # fires on every restart -- do not add another here, or actions
+        # (and gatekeepers created per boot) grow exponentially.
+
+    def _trace(self, event: str, **details) -> None:
+        self.sim.trace.log(f"gatekeeper:{self.site}", event, **details)
+
+    # -- handlers -----------------------------------------------------------
+    def handle_ping(self, ctx) -> str:
+        """Liveness probe (GridManager failure detector, §4.2)."""
+        return self.site
+
+    def handle_submit(self, ctx, seq: int, request: GramJobRequest,
+                      callback: Optional[tuple] = None) -> dict:
+        """Phase 1 of two-phase submission; idempotent on (client, seq)."""
+        key = (ctx.caller_host, seq)
+        jmid = self._seen.get(key)
+        if jmid is None:
+            if self.max_jobmanagers is not None:
+                from .protocol import GRAM_TERMINAL
+
+                live = sum(
+                    1 for name, svc in self.host.services.items()
+                    if name.startswith("jm:")
+                    and getattr(svc, "state", "") not in GRAM_TERMINAL)
+                if live >= self.max_jobmanagers:
+                    self.rejected_busy += 1
+                    self._trace("submit_rejected_busy", seq=seq,
+                                client=ctx.caller_host, live=live)
+                    raise GatekeeperBusy(
+                        f"gatekeeper {self.site} at its JobManager "
+                        f"limit ({self.max_jobmanagers})")
+            jmid = f"{self.site}-jm{next(self._ids)}"
+            self._seen[key] = jmid
+            JobManager(
+                self.host, jmid,
+                lrm_contact=self.lrm_contact,
+                request=request,
+                client_callback=tuple(callback) if callback else None,
+                owner=ctx.principal or ctx.caller_host,
+                credential=ctx.credential,
+            )
+            self._trace("jobmanager_created", jmid=jmid, seq=seq,
+                        client=ctx.caller_host, owner=ctx.principal)
+        else:
+            self._trace("duplicate_submit", jmid=jmid, seq=seq,
+                        client=ctx.caller_host)
+        return {"jmid": jmid, "contact": self.host.name, "seq": seq}
+
+    def handle_submit_v1(self, ctx, request: GramJobRequest,
+                         callback: Optional[tuple] = None) -> dict:
+        """Legacy single-phase submission: NOT idempotent (baseline)."""
+        jmid = f"{self.site}-jm{next(self._ids)}"
+        jm = JobManager(
+            self.host, jmid,
+            lrm_contact=self.lrm_contact,
+            request=request,
+            client_callback=tuple(callback) if callback else None,
+            owner=ctx.principal or ctx.caller_host,
+            credential=ctx.credential,
+        )
+        jm.handle_commit(ctx)    # immediate commit: no second phase
+        self._trace("jobmanager_created_v1", jmid=jmid,
+                    client=ctx.caller_host)
+        return {"jmid": jmid, "contact": self.host.name}
+
+    def handle_restart_jobmanager(self, ctx, jmid: str) -> dict:
+        """Revive a JobManager from its on-disk state file (GRAM-2)."""
+        existing = self.host.get_service(f"jm:{jmid}")
+        if existing is not None:
+            return {"jmid": jmid, "contact": self.host.name,
+                    "revived": False}
+        if self.host.stable.namespace(STATE_NS).get(jmid) is None:
+            raise KeyError(f"no state file for jobmanager {jmid}")
+        JobManager(self.host, jmid, lrm_contact=self.lrm_contact,
+                   credential=ctx.credential, restarted=True)
+        self._trace("jobmanager_restarted", jmid=jmid)
+        return {"jmid": jmid, "contact": self.host.name, "revived": True}
+
+    def handle_queue_info(self, ctx):
+        """Expose the local scheduler's load (used by resource brokers)."""
+        from ..sim.rpc import call
+
+        info = yield from call(self.host, self.lrm_contact, "lrm",
+                               "queue_info")
+        info["site"] = self.site
+        return info

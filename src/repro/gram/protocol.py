@@ -1,0 +1,93 @@
+"""GRAM protocol definitions (paper §3.2).
+
+Job request structure and the GRAM job state machine::
+
+    UNCOMMITTED -> STAGE_IN -> PENDING -> ACTIVE -> DONE
+                                  |  ^______|
+                                  v   (requeue after preemption)
+                               FAILED
+
+``UNCOMMITTED`` is the window between the two phases of the commit
+protocol: the JobManager exists and holds the request, but nothing has
+been submitted to the local scheduler.  If the commit never arrives the
+JobManager aborts -- this is the *at-most-once* half of exactly-once.
+The client retrying `submit` with the same sequence number until it gets
+a response is the *at-least-once* half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+# GRAM job states
+UNCOMMITTED = "UNCOMMITTED"
+STAGE_IN = "STAGE_IN"
+PENDING = "PENDING"
+ACTIVE = "ACTIVE"
+DONE = "DONE"
+FAILED = "FAILED"
+
+GRAM_TERMINAL = frozenset({DONE, FAILED})
+
+# LRM state -> GRAM state
+_LRM_TO_GRAM = {
+    "QUEUED": PENDING,
+    "RUNNING": ACTIVE,
+    "COMPLETED": DONE,
+    "FAILED": FAILED,
+    "CANCELLED": FAILED,
+    "PREEMPTED": FAILED,
+}
+
+
+def gram_state_of(lrm_state: str) -> str:
+    return _LRM_TO_GRAM[lrm_state]
+
+
+@dataclass(frozen=True)
+class GramJobRequest:
+    """The RSL of a job: what the client asks a gatekeeper to run.
+
+    ``executable_url``/``stdin_url`` point at the client's GASS server
+    for stage-in; ``stdout_url`` is where the JobManager streams output.
+    ``program`` carries an executable *behaviour* (for GlideIns); plain
+    jobs just consume ``runtime`` seconds.
+    """
+
+    executable_url: str = ""
+    stdin_url: str = ""
+    stdout_url: str = ""
+    stderr_url: str = ""
+    # remote file name -> client GASS URL, staged out on completion
+    output_files: dict = field(default_factory=dict)
+    runtime: float = 1.0
+    walltime: Optional[float] = None
+    cpus: int = 1
+    queue_priority: int = 0
+    env: dict = field(default_factory=dict)
+    program: Optional[Callable] = None
+    exit_code: int = 0
+    label: str = ""
+
+    def with_env(self, **env: Any) -> "GramJobRequest":
+        merged = dict(self.env)
+        merged.update(env)
+        return replace(self, env=merged)
+
+
+def to_lrm_spec(request: GramJobRequest):
+    """Convert a GRAM request into a local scheduler JobSpec."""
+    from ..lrm.base import JobSpec
+
+    return JobSpec(
+        executable=request.executable_url or request.label or "a.out",
+        runtime=request.runtime,
+        walltime=request.walltime,
+        cpus=request.cpus,
+        priority=request.queue_priority,
+        env=dict(request.env),
+        program=request.program,
+        exit_code=request.exit_code,
+        requeue_on_preempt=True,
+    )

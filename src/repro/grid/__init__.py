@@ -1,0 +1,17 @@
+"""Testbed builder and run metrics."""
+
+from .metrics import ConcurrencyStats, concurrency, queue_waits, timeline
+from .testbed import (
+    CONDOR_BINARIES,
+    GIIS_HOST,
+    GridTestbed,
+    MYPROXY_HOST,
+    REPO_HOST,
+    Site,
+)
+
+__all__ = [
+    "CONDOR_BINARIES", "ConcurrencyStats", "GIIS_HOST", "GridTestbed",
+    "MYPROXY_HOST", "REPO_HOST", "Site", "concurrency", "queue_waits",
+    "timeline",
+]

@@ -1,0 +1,137 @@
+"""Metrics derived from the simulation trace.
+
+The paper reports its experiences in CPU-hours delivered, average and
+peak concurrently busy processors, and elapsed wall-clock -- all of which
+fall out of the LRM start/finish trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..sim.trace import Trace, TraceRecord
+
+
+@dataclass
+class ConcurrencyStats:
+    cpu_seconds: float
+    average_busy: float
+    peak_busy: int
+    first_start: float
+    last_finish: float
+
+    @property
+    def cpu_hours(self) -> float:
+        return self.cpu_seconds / 3600.0
+
+    @property
+    def span(self) -> float:
+        return max(0.0, self.last_finish - self.first_start)
+
+
+_EVENT_SETS = {
+    # LRM allocations: slot occupancy at the batch-system level
+    "lrm:": ("start", ("finish", "preempt")),
+    # Startd sandboxes: actual application work on pool slots
+    "startd:": ("job_start", ("job_done", "job_vacated", "job_failed")),
+}
+
+
+def _lrm_intervals(trace: Trace, component_prefix: str = "lrm:",
+                   job_filter: Optional[str] = None
+                   ) -> list[tuple[float, float]]:
+    """(start, end) pairs of job executions from trace records."""
+    start_event, end_events = _EVENT_SETS.get(component_prefix,
+                                              _EVENT_SETS["lrm:"])
+    starts: dict[tuple[str, str], float] = {}
+    intervals: list[tuple[float, float]] = []
+    for rec in trace.records:
+        if not rec.component.startswith(component_prefix):
+            continue
+        job = rec.details.get("job", "")
+        if job_filter is not None and job_filter not in str(job):
+            continue
+        key = (rec.component, job)
+        if rec.event == start_event:
+            starts[key] = rec.time
+        elif rec.event in end_events and key in starts:
+            intervals.append((starts.pop(key), rec.time))
+    # anything still running at the end of the trace
+    if trace.records:
+        end = trace.records[-1].time
+        for t0 in starts.values():
+            intervals.append((t0, end))
+    return intervals
+
+
+def concurrency(trace: Trace, component_prefix: str = "lrm:",
+                job_filter: Optional[str] = None) -> ConcurrencyStats:
+    """Busy-CPU statistics over the run (1 cpu per interval assumed)."""
+    intervals = _lrm_intervals(trace, component_prefix, job_filter)
+    if not intervals:
+        return ConcurrencyStats(0.0, 0.0, 0, 0.0, 0.0)
+    events: list[tuple[float, int]] = []
+    for start, end in intervals:
+        events.append((start, +1))
+        events.append((end, -1))
+    events.sort()
+    busy = 0
+    peak = 0
+    area = 0.0
+    last_t = events[0][0]
+    for t, delta in events:
+        area += busy * (t - last_t)
+        busy += delta
+        peak = max(peak, busy)
+        last_t = t
+    first = min(s for s, _ in intervals)
+    last = max(e for _, e in intervals)
+    span = max(last - first, 1e-12)
+    return ConcurrencyStats(
+        cpu_seconds=area,
+        average_busy=area / span,
+        peak_busy=peak,
+        first_start=first,
+        last_finish=last,
+    )
+
+
+def timeline(trace: Trace, bucket: float,
+             component_prefix: str = "lrm:",
+             job_filter: Optional[str] = None
+             ) -> tuple[np.ndarray, np.ndarray]:
+    """(bucket_times, busy_cpus) sampled series for plotting/tables."""
+    intervals = _lrm_intervals(trace, component_prefix, job_filter)
+    if not intervals:
+        return np.array([]), np.array([])
+    t0 = min(s for s, _ in intervals)
+    t1 = max(e for _, e in intervals)
+    edges = np.arange(t0, t1 + bucket, bucket)
+    busy = np.zeros(len(edges))
+    for start, end in intervals:
+        i0 = np.searchsorted(edges, start, side="right") - 1
+        i1 = np.searchsorted(edges, end, side="right") - 1
+        for i in range(max(i0, 0), min(i1 + 1, len(edges))):
+            lo = max(start, edges[i])
+            hi = min(end, edges[i] + bucket)
+            if hi > lo:
+                busy[i] += (hi - lo) / bucket
+    return edges, busy
+
+
+def queue_waits(trace: Trace, component_prefix: str = "lrm:"
+                ) -> list[float]:
+    """Per-job queue wait times (from LRM 'start' records)."""
+    return [rec.details["waited"] for rec in trace.records
+            if rec.component.startswith(component_prefix)
+            and rec.event == "start" and "waited" in rec.details]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))

@@ -1,0 +1,257 @@
+"""Testbed builder: whole multi-site grids in a few lines.
+
+Assembles everything a Condor-G experiment needs: a CA and per-site
+gridmaps (GSI), gatekeepers + local schedulers (one pair of hosts per
+site, so interface-machine crashes never kill the cluster), MDS
+registration, a central GridFTP repository holding the Condor binaries
+for GlideIn bootstrap, and per-user agents on their own submit machines.
+
+This is the module the examples and benchmarks drive; see
+``examples/quickstart.py`` for the canonical usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.api import CondorGAgent
+from ..core.broker import Broker, MDSBroker, QueueAwareBroker, UserListBroker
+from ..gram.gatekeeper import Gatekeeper
+from ..gridftp.server import GridFTPServer
+from ..gsi.auth import GridMap, GSIAuthorizer
+from ..gsi.myproxy import MyProxyServer
+from ..gsi.pki import CertificateAuthority
+from ..gsi.proxy import GridUser
+from ..lrm.base import LocalResourceManager
+from ..lrm.flavors import make_lrm
+from ..mds.giis import GIIS, ResourceRegistrar
+from ..mds.schema import resource_ad
+from ..sim.failures import FailureInjector
+from ..sim.hosts import Host
+from ..sim.kernel import Simulator
+from ..sim.network import Network
+
+GIIS_HOST = "mds"
+REPO_HOST = "condor-repo"
+MYPROXY_HOST = "myproxy"
+CONDOR_BINARIES = "condor/binaries.tar"
+
+
+@dataclass
+class Site:
+    """One administrative domain: a gatekeeper and a cluster behind it."""
+
+    name: str
+    gk_host: Host
+    lrm_host: Host
+    lrm: LocalResourceManager
+    gatekeeper: Gatekeeper
+    gridmap: GridMap
+    cpus: int
+    arch: str = "INTEL"
+    memory: int = 512
+    allocation_cost: float = 0.0
+    registrar: Optional[ResourceRegistrar] = None
+
+    @property
+    def contact(self) -> str:
+        return self.gk_host.name
+
+    def queue_depth(self) -> int:
+        return self.lrm.queue_info()["queued_jobs"]
+
+
+class GridTestbed:
+    """A multi-institutional grid in a box."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: float = 0.05,
+        jitter: float = 0.01,
+        loss_rate: float = 0.0,
+        use_gsi: bool = False,
+        with_mds: bool = True,
+        with_repo: bool = True,
+        with_myproxy: bool = False,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim, latency=latency, jitter=jitter,
+                           loss_rate=loss_rate)
+        self.failures = FailureInjector(self.sim)
+        self.use_gsi = use_gsi
+        self.ca = CertificateAuthority("TestGrid")
+        self.sites: dict[str, Site] = {}
+        self.users: dict[str, GridUser] = {}
+        self.agents: dict[str, CondorGAgent] = {}
+        self.giis: Optional[GIIS] = None
+        self.repo: Optional[GridFTPServer] = None
+        self.myproxy: Optional[MyProxyServer] = None
+        if with_mds:
+            self.giis = GIIS(Host(self.sim, GIIS_HOST))
+        if with_repo:
+            repo_host = Host(self.sim, REPO_HOST)
+            self.repo = GridFTPServer(repo_host)
+            self.repo.publish(CONDOR_BINARIES, size=5_000_000)
+        if with_myproxy:
+            self.myproxy = MyProxyServer(Host(self.sim, MYPROXY_HOST))
+
+    # -- sites ---------------------------------------------------------------
+    def add_site(
+        self,
+        name: str,
+        scheduler: str = "pbs",
+        cpus: int = 16,
+        arch: str = "INTEL",
+        memory: int = 512,
+        allocation_cost: float = 0.0,
+        register_mds: bool = True,
+        mds_interval: float = 60.0,
+        **lrm_kwargs,
+    ) -> Site:
+        gk_host = Host(self.sim, f"{name}-gk", site=name)
+        lrm_host = Host(self.sim, f"{name}-lrm", site=name)
+        lrm = make_lrm(scheduler, lrm_host, cpus, **lrm_kwargs)
+        gridmap = GridMap()
+        for user in self.users.values():
+            gridmap.add(user.dn, f"{name}_{user.name}")
+        authorizer = GSIAuthorizer.for_ca(self.ca, gridmap) \
+            if self.use_gsi else None
+        gatekeeper = Gatekeeper(gk_host, lrm_contact=lrm_host.name,
+                                authorizer=authorizer, site=name)
+        site = Site(name=name, gk_host=gk_host, lrm_host=lrm_host,
+                    lrm=lrm, gatekeeper=gatekeeper, gridmap=gridmap,
+                    cpus=cpus, arch=arch, memory=memory,
+                    allocation_cost=allocation_cost)
+        if register_mds and self.giis is not None:
+            site.registrar = ResourceRegistrar(
+                gk_host, GIIS_HOST, lambda s=site: self._site_ad(s),
+                interval=mds_interval, ttl=mds_interval * 2.5)
+        self.sites[name] = site
+        return site
+
+    def _site_ad(self, site: Site):
+        info = site.lrm.queue_info()
+        return resource_ad(
+            name=site.name,
+            contact=site.contact,
+            lrm_type=site.lrm.flavor,
+            total_cpus=site.cpus,
+            free_cpus=info["free_slots"],
+            queued_jobs=info["queued_jobs"],
+            arch=site.arch,
+            memory=site.memory,
+            site=site.name,
+            allocation_cost=site.allocation_cost,
+        )
+
+    # -- users / agents --------------------------------------------------------
+    def add_user(self, name: str) -> GridUser:
+        user = GridUser(name, self.ca, now=self.sim.now)
+        self.users[name] = user
+        for site in self.sites.values():
+            site.gridmap.add(user.dn, f"{site.name}_{name}")
+        return user
+
+    def add_agent(
+        self,
+        name: str,
+        broker: Optional[Broker] = None,
+        broker_kind: str = "",
+        proxy_lifetime: float = 12 * 3600.0,
+        myproxy: bool = False,
+        personal_pool: bool = True,
+        warn_threshold: float = 3600.0,
+    ) -> CondorGAgent:
+        """Create a user + their desktop agent on `submit-<name>`."""
+        user = self.users.get(name) or self.add_user(name)
+        host = Host(self.sim, f"submit-{name}")
+        proxy = user.proxy(now=self.sim.now, lifetime=proxy_lifetime) \
+            if self.use_gsi else None
+        myproxy_cfg = None
+        if myproxy and self.myproxy is not None and proxy is not None:
+            long_proxy = user.proxy(now=self.sim.now,
+                                    lifetime=7 * 86400.0)
+            self.myproxy._store[name] = (f"{name}-pass", long_proxy)
+            myproxy_cfg = {"host": MYPROXY_HOST, "username": name,
+                           "passphrase": f"{name}-pass",
+                           "lifetime": proxy_lifetime}
+        if broker is None and broker_kind:
+            broker = self.make_broker(broker_kind, host)
+        agent = CondorGAgent(
+            host, name,
+            proxy=proxy,
+            broker=broker,
+            myproxy=myproxy_cfg,
+            glidein_binaries_url=self.binaries_url,
+            personal_pool=personal_pool,
+            warn_threshold=warn_threshold,
+        )
+        # Brokers that talk to GSI-protected services need the user's
+        # credential; wire it in once the credential monitor exists.
+        if broker is not None and agent.credmon is not None and \
+                getattr(broker, "credential_source", False) is None:
+            broker.credential_source = agent.credmon.credential_source
+        self.agents[name] = agent
+        return agent
+
+    def make_broker(self, kind: str, host: Host,
+                    **kwargs) -> Broker:
+        if kind == "userlist":
+            return UserListBroker([s.contact for s in self.sites.values()])
+        if kind == "mds":
+            return MDSBroker(host, GIIS_HOST, **kwargs)
+        if kind == "queue-aware":
+            return QueueAwareBroker(
+                host, [s.contact for s in self.sites.values()], **kwargs)
+        raise ValueError(f"unknown broker kind {kind!r}")
+
+    @property
+    def binaries_url(self) -> str:
+        if self.repo is None:
+            return ""
+        return self.repo.url(CONDOR_BINARIES)
+
+    # -- running ------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def run_until_quiet(self, check_interval: float = 50.0,
+                        max_time: float = 10**7) -> None:
+        """Run until every agent's every job is terminal (or max_time)."""
+        guard = {"done": False}
+
+        def watchdog():
+            while self.sim.now < max_time:
+                yield self.sim.timeout(check_interval)
+                if all(agent.all_terminal()
+                       for agent in self.agents.values()):
+                    guard["done"] = True
+                    return
+
+        self.sim.spawn(watchdog())
+        while not guard["done"] and self.sim.now < max_time:
+            target = min(self.sim.now + 10_000.0, max_time)
+            self.sim.run(until=target)
+
+    # -- metrics shortcuts ----------------------------------------------------
+    def total_cpu_seconds(self) -> float:
+        return sum(site.lrm.total_busy_time for site in self.sites.values())
+
+    def cost_report(self, user: str) -> dict:
+        """Per-site and total cost for one user (§1: users "do care...
+        how much these tasks will cost").
+
+        Each site charges ``allocation_cost`` per CPU-hour consumed by
+        the user's site-local account(s).
+        """
+        per_site: dict[str, float] = {}
+        for site in self.sites.values():
+            cpu_seconds = sum(
+                usage for account, usage in site.lrm.user_usage.items()
+                if user in account)
+            per_site[site.name] = (cpu_seconds / 3600.0
+                                   * site.allocation_cost)
+        per_site["total"] = sum(per_site.values())
+        return per_site

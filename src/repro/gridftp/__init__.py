@@ -1,0 +1,23 @@
+"""GridFTP: GSI-authenticated bulk file transfer (paper §5, §6).
+
+Used by the GlideIn bootstrap to fetch Condor executables from a central
+repository and by the CMS pipeline to ship event data to the NCSA
+repository, including third-party transfers (server-to-server moves
+orchestrated by a client that touches none of the data).
+
+URLs: ``gsiftp://<host>/<path>``.  The service name on a host is always
+``gridftp``; transfer time is ``size / bandwidth`` at the sending side.
+"""
+
+from .server import GridFTPServer, make_gsiftp_url, parse_gsiftp_url
+from .client import (
+    gridftp_get,
+    gridftp_put,
+    gridftp_size,
+    third_party_transfer,
+)
+
+__all__ = [
+    "GridFTPServer", "gridftp_get", "gridftp_put", "gridftp_size",
+    "make_gsiftp_url", "parse_gsiftp_url", "third_party_transfer",
+]

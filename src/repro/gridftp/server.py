@@ -1,0 +1,107 @@
+"""GridFTP server."""
+
+from __future__ import annotations
+
+from ..gass.files import FileStore, SimFile
+from ..sim.hosts import Host
+from ..sim.rpc import Service, call
+
+DEFAULT_BANDWIDTH = 10_000_000.0   # bulk-transfer pipes are fat
+
+
+def make_gsiftp_url(host: str, path: str) -> str:
+    return f"gsiftp://{host}/{path.lstrip('/')}"
+
+
+def parse_gsiftp_url(url: str) -> tuple[str, str]:
+    """-> (host, path)."""
+    if not url.startswith("gsiftp://"):
+        raise ValueError(f"not a gsiftp URL: {url!r}")
+    rest = url[len("gsiftp://"):]
+    host, _, path = rest.partition("/")
+    if not host or not path:
+        raise ValueError(f"gsiftp URL needs host and path: {url!r}")
+    return host, path
+
+
+class GridFTPServer(Service):
+    """A file server supporting RETR/STOR/SIZE and third-party fetch."""
+
+    service_name = "gridftp"
+
+    def __init__(
+        self,
+        host: Host,
+        authorizer=None,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        persistent: bool = True,
+        restart_on_boot: bool = True,
+    ):
+        super().__init__(host, authorizer=authorizer)
+        stable_ns = host.stable.namespace("gridftp") if persistent else None
+        self.files = FileStore(stable_ns)
+        self.bandwidth = bandwidth
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        if restart_on_boot:
+            # The server daemon comes back with the machine (init script);
+            # its file store is rebuilt from the same on-disk namespace.
+            host.add_boot_action(lambda h: GridFTPServer(
+                h, authorizer=authorizer, bandwidth=bandwidth,
+                persistent=persistent, restart_on_boot=False))
+
+    def url(self, path: str) -> str:
+        return make_gsiftp_url(self.host.name, path)
+
+    def _pay(self, nbytes: int):
+        if self.bandwidth and nbytes > 0:
+            return self.sim.timeout(nbytes / self.bandwidth)
+        return self.sim.timeout(0.0)
+
+    # -- handlers -----------------------------------------------------------
+    def handle_retr(self, ctx, path: str):
+        f = self.files.get(path)
+        yield self._pay(f.size)
+        self.bytes_sent += f.size
+        self.sim.trace.log(f"gridftp:{self.host.name}", "retr", path=path,
+                           size=f.size, to=ctx.caller_host)
+        return {"path": f.path, "size": f.size, "data": f.data}
+
+    def handle_stor(self, ctx, path: str, size: int = 0, data: str = ""):
+        f = SimFile(path, size=size, data=data)
+        yield self._pay(f.size)
+        self.files.put(f)
+        self.bytes_received += f.size
+        self.sim.trace.log(f"gridftp:{self.host.name}", "stor", path=path,
+                           size=f.size, source=ctx.caller_host)
+        return f.size
+
+    def handle_size(self, ctx, path: str) -> int:
+        if not self.files.exists(path):
+            raise FileNotFoundError(path)
+        return self.files.get(path).size
+
+    def handle_list(self, ctx) -> list[str]:
+        return self.files.list()
+
+    def handle_fetch_from(self, ctx, src_url: str, dst_path: str):
+        """Third-party transfer: pull `src_url` into this server.
+
+        The caller's (delegated) credential is re-used to authenticate
+        to the source server on the user's behalf.
+        """
+        src_host, src_path = parse_gsiftp_url(src_url)
+        result = yield from call(self.host, src_host, "gridftp", "retr",
+                                 timeout=600.0, credential=ctx.credential,
+                                 path=src_path)
+        f = SimFile(dst_path, size=result["size"], data=result["data"])
+        self.files.put(f)
+        self.bytes_received += f.size
+        self.sim.trace.log(f"gridftp:{self.host.name}", "third_party",
+                           src=src_url, dst=dst_path, size=f.size)
+        return f.size
+
+    # -- local convenience ----------------------------------------------------
+    def publish(self, path: str, size: int = 0, data: str = "") -> str:
+        self.files.put(SimFile(path, size=size, data=data))
+        return self.url(path)

@@ -1,0 +1,24 @@
+"""GSI: Grid Security Infrastructure (paper §3.1).
+
+Simulated PKI with the structure that Condor-G depends on: CA-issued user
+certificates, short-lived proxy credentials created from the user's
+private key, multi-level delegation (forwarding to GRAM servers), per-site
+gridmap authorization, and the MyProxy online repository (§4.3).
+"""
+
+from .auth import GridMap, GSIAuthorizer
+from .myproxy import MyProxyServer
+from .pki import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    make_certificate,
+    verify_chain,
+)
+from .proxy import GridUser, ProxyCredential, UserCredential, delegate
+
+__all__ = [
+    "Certificate", "CertificateAuthority", "CertificateError", "GridMap",
+    "GridUser", "GSIAuthorizer", "MyProxyServer", "ProxyCredential",
+    "UserCredential", "delegate", "make_certificate", "verify_chain",
+]

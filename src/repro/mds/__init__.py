@@ -1,0 +1,19 @@
+"""MDS-2: the Grid information service (paper §3.3).
+
+Two protocols on top of the RPC substrate:
+
+* **GRRP** (Grid Resource Registration Protocol): a resource pushes a
+  soft-state registration ("I exist, here is my ad") to an index; the
+  registration expires unless renewed, so crashed resources age out.
+* **GRIP** (Grid Resource Information Protocol): clients query an index
+  (or a resource directly) for resource ads matching a ClassAd
+  constraint expression.
+
+The index service (GIIS) is what the Condor-G personal resource broker
+queries to build its candidate list (§4.4).
+"""
+
+from .giis import GIIS, ResourceRegistrar, grip_query
+from .schema import resource_ad
+
+__all__ = ["GIIS", "ResourceRegistrar", "grip_query", "resource_ad"]

@@ -1,0 +1,70 @@
+"""Exception types used by the simulation kernel.
+
+The kernel distinguishes three ways a process can stop abnormally:
+
+* :class:`Interrupt` -- another process asked it to stop what it is doing
+  (recoverable; the target may catch it and continue).
+* :class:`ProcessKilled` -- the process was destroyed, typically because its
+  host crashed.  Raised *in the waiters* of the dead process, never inside
+  the dead process itself (its generator is simply closed).
+* :class:`SimulationError` -- the kernel detected an inconsistency (e.g. an
+  event triggered twice).
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Internal inconsistency in the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries an arbitrary, caller-supplied payload describing why.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Raised in waiters joined on a process that was destroyed."""
+
+    def __init__(self, process_name: str = "?", cause: object = None):
+        super().__init__(f"process {process_name} was killed ({cause!r})")
+        self.process_name = process_name
+        self.cause = cause
+
+
+class HostDown(Exception):
+    """An operation required a host that is currently crashed."""
+
+
+class RPCError(Exception):
+    """Base class for RPC-layer failures."""
+
+
+class RPCTimeout(RPCError):
+    """No response arrived within the caller's timeout."""
+
+
+class ServiceUnavailable(RPCError):
+    """The destination host is up but no such service is registered."""
+
+
+class AuthenticationError(RPCError):
+    """GSI authentication failed (bad/expired credential)."""
+
+
+class AuthorizationError(RPCError):
+    """Credential authenticated but is not authorized (no gridmap entry)."""
+
+
+class RemoteError(RPCError):
+    """The remote handler raised; carries the stringified remote exception."""
+
+    def __init__(self, message: str, kind: str = "Exception"):
+        super().__init__(message)
+        self.kind = kind

@@ -1,0 +1,106 @@
+"""Failure injection.
+
+Experiments schedule crashes, restarts, and network partitions either at
+fixed times or stochastically.  All schedules draw from named RNG streams,
+so a failure scenario is fully determined by the simulator seed.
+
+The four failure classes of Condor-G (§4.2) map onto:
+
+* ``crash_process`` -- kill one daemon (e.g. a single JobManager);
+* ``crash_host`` / ``restart_host`` -- kill every daemon on a machine and
+  lose its volatile state (gatekeeper node, submit machine);
+* ``partition`` / ``heal`` -- network failure between two machines
+  (indistinguishable, to the observer, from the remote machine crashing --
+  which is exactly the ambiguity §4.2 describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hosts import Host
+    from .kernel import Simulator
+
+
+@dataclass
+class FailureEvent:
+    time: float
+    kind: str
+    target: str
+    extra: dict = field(default_factory=dict)
+
+
+class FailureInjector:
+    """Schedules crashes/restarts/partitions against a simulator."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.injected: list[FailureEvent] = []
+
+    # -- deterministic schedules ---------------------------------------------
+    def crash_host_at(self, time: float, host: "Host",
+                      down_for: Optional[float] = None) -> None:
+        """Crash `host` at `time`; restart after `down_for` if given."""
+        self.sim.schedule(max(0.0, time - self.sim.now),
+                          lambda: self._crash(host))
+        if down_for is not None:
+            self.restart_host_at(time + down_for, host)
+
+    def restart_host_at(self, time: float, host: "Host") -> None:
+        self.sim.schedule(max(0.0, time - self.sim.now),
+                          lambda: self._restart(host))
+
+    def partition_at(self, time: float, a: str, b: str,
+                     heal_after: Optional[float] = None) -> None:
+        net = self.sim.network
+        self.sim.schedule(max(0.0, time - self.sim.now),
+                          lambda: self._partition(a, b))
+        if heal_after is not None:
+            self.sim.schedule(max(0.0, time + heal_after - self.sim.now),
+                              lambda: net.heal(a, b))
+
+    def isolate_at(self, time: float, host: str,
+                   rejoin_after: Optional[float] = None) -> None:
+        net = self.sim.network
+        self.sim.schedule(max(0.0, time - self.sim.now),
+                          lambda: self._isolate(host))
+        if rejoin_after is not None:
+            self.sim.schedule(
+                max(0.0, time + rejoin_after - self.sim.now),
+                lambda: net.rejoin(host))
+
+    # -- stochastic schedules ---------------------------------------------
+    def random_crashes(
+        self,
+        host: "Host",
+        mtbf: float,
+        downtime: float,
+        horizon: float,
+        stream: str = "failures",
+    ) -> None:
+        """Poisson crash process: exponential(mtbf) up-times, fixed downtime."""
+        rng = self.sim.rng.stream(f"{stream}:{host.name}")
+        t = self.sim.now + rng.expovariate(1.0 / mtbf)
+        while t < horizon:
+            self.crash_host_at(t, host, down_for=downtime)
+            t += downtime + rng.expovariate(1.0 / mtbf)
+
+    # -- internals ------------------------------------------------------------
+    def _crash(self, host: "Host") -> None:
+        self.injected.append(FailureEvent(self.sim.now, "crash", host.name))
+        host.crash(cause="injected")
+
+    def _restart(self, host: "Host") -> None:
+        self.injected.append(FailureEvent(self.sim.now, "restart", host.name))
+        host.restart()
+
+    def _partition(self, a: str, b: str) -> None:
+        self.injected.append(
+            FailureEvent(self.sim.now, "partition", f"{a}|{b}"))
+        self.sim.network.partition(a, b)
+
+    def _isolate(self, host: str) -> None:
+        self.injected.append(FailureEvent(self.sim.now, "isolate", host))
+        self.sim.network.isolate(host)

@@ -1,0 +1,209 @@
+"""Simulated network: latency, jitter, loss, and partitions.
+
+The network moves *datagrams* between named services on hosts.  Delivery is
+best-effort, exactly matching the failure model Condor-G's protocols were
+designed for:
+
+* the destination host may be down -> silent drop;
+* a partition may separate the endpoints -> silent drop;
+* the loss rate may eat the message -> silent drop;
+* otherwise the message arrives after ``latency + U(0, jitter)`` seconds,
+  evaluated per-message from the ``"network"`` RNG stream.
+
+Anything request/response-shaped is layered on top in :mod:`repro.sim.rpc`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from .errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hosts import Host
+    from .kernel import Simulator
+
+
+@dataclass
+class Datagram:
+    src: str                     # source host name
+    dst: str                     # destination host name
+    service: str                 # destination service name
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = self.payload.get("kind", "?")
+        return f"<Datagram {self.src}->{self.dst}/{self.service} {kind}>"
+
+
+class Network:
+    """The single network fabric of a simulation."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency: float = 0.05,
+        jitter: float = 0.01,
+        loss_rate: float = 0.0,
+    ):
+        if sim.network is not None:
+            raise SimulationError("simulator already has a network")
+        self.sim = sim
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        # Traffic within one site rides the LAN at this fraction of the
+        # WAN latency (and is never randomly lost).
+        self.lan_factor = 0.2
+        self._rng = sim.rng.stream("network")
+        # Pairs of host names that cannot exchange messages.
+        self._partitions: set[frozenset[str]] = set()
+        # Per-host-name isolation (cuts a host off from everyone).
+        self._isolated: set[str] = set()
+        # Per-pair latency overrides (host or site names, unordered).
+        self._link_latency: dict[frozenset[str], float] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        sim.network = self
+
+    # -- partitions ---------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Block traffic (both directions) between hosts named `a` and `b`."""
+        self._partitions.add(frozenset((a, b)))
+        self.sim.trace.log("network", "partition", a=a, b=b)
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+        self.sim.trace.log("network", "heal", a=a, b=b)
+
+    def isolate(self, host: str) -> None:
+        """Cut a host off from the entire network."""
+        self._isolated.add(host)
+        self.sim.trace.log("network", "isolate", host=host)
+
+    def rejoin(self, host: str) -> None:
+        self._isolated.discard(host)
+        self.sim.trace.log("network", "rejoin", host=host)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        if src in self._isolated or dst in self._isolated:
+            return False
+        return frozenset((src, dst)) not in self._partitions
+
+    # -- topology -------------------------------------------------------------
+    def set_link_latency(self, a: str, b: str, latency: float) -> None:
+        """Override the one-way latency between two hosts *or sites*.
+
+        Lookup precedence at send time: host-pair override, then
+        site-pair override, then the LAN factor (same site), then the
+        global WAN default.
+        """
+        self._link_latency[frozenset((a, b))] = latency
+
+    def _base_latency(self, src: "Host", dst: Optional["Host"],
+                      dst_name: str) -> float:
+        override = self._link_latency.get(frozenset((src.name, dst_name)))
+        if override is not None:
+            return override
+        if dst is not None and src.site and dst.site:
+            override = self._link_latency.get(
+                frozenset((src.site, dst.site)))
+            if override is not None:
+                return override
+            if src.site == dst.site:
+                return self.latency * self.lan_factor
+        return self.latency
+
+    # -- delivery -------------------------------------------------------------
+    def delay(self) -> float:
+        return self.latency + self._rng.uniform(0.0, self.jitter)
+
+    def send(
+        self,
+        src: "Host",
+        dst_name: str,
+        service: str,
+        payload: dict[str, Any],
+    ) -> None:
+        """Fire-and-forget datagram; drops are silent (caller must timeout)."""
+        self.sent += 1
+        # Deep-copy models serialization: no object sharing across hosts.
+        dgram = Datagram(src.name, dst_name, service, copy.deepcopy(payload))
+        if not src.up:
+            self.dropped += 1
+            return
+        if not self.reachable(src.name, dst_name):
+            self.dropped += 1
+            return
+        # Loss models the WAN: traffic inside one site (same non-empty
+        # `site` tag) rides the LAN and is not subject to random loss.
+        dst_host = self.sim.hosts.get(dst_name)
+        same_site = (dst_host is not None and src.site
+                     and src.site == dst_host.site)
+        if not same_site and self.loss_rate > 0.0 and \
+                self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            self.sim.trace.log("network", "loss", src=src.name, dst=dst_name,
+                               service=service)
+            return
+        latency = self._base_latency(src, dst_host, dst_name) \
+            + self._rng.uniform(0.0, self.jitter)
+        self.sim.schedule(latency, lambda: self._arrive(dgram))
+
+    def _arrive(self, dgram: Datagram) -> None:
+        # Partitions/crashes that happened in flight still stop delivery.
+        if not self.reachable(dgram.src, dgram.dst):
+            self.dropped += 1
+            return
+        dst = self.sim.hosts.get(dgram.dst)
+        if dst is None or not dst.up:
+            self.dropped += 1
+            return
+        service = dst.get_service(dgram.service)
+        if service is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        deliver: Callable[[Datagram], None] = getattr(service, "deliver")
+        deliver(dgram)
+
+
+class Mailbox:
+    """A service that queues datagrams for a consuming process.
+
+    Used for one-way streams (e.g. GASS stdout chunks): producers ``send``
+    datagrams at the mailbox's service name; the consumer process blocks on
+    :meth:`get`.
+    """
+
+    def __init__(self, host: "Host", name: str):
+        self.sim = host.sim
+        self.host = host
+        self.name = name
+        self._queue: list[Datagram] = []
+        self._waiter = None
+        host.register_service(name, self)
+
+    def deliver(self, dgram: Datagram) -> None:
+        self._queue.append(dgram)
+        if self._waiter is not None and not self._waiter.triggered:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed(self._queue.pop(0))
+
+    def get(self):
+        """Event yielding the next datagram (FIFO)."""
+        ev = self.sim.event(name=f"mailbox:{self.name}")
+        if self._queue:
+            ev.succeed(self._queue.pop(0))
+        else:
+            if self._waiter is not None and not self._waiter.triggered:
+                raise SimulationError(
+                    f"mailbox {self.name} already has a waiting consumer")
+            self._waiter = ev
+        return ev
+
+    def close(self) -> None:
+        self.host.unregister_service(self.name)

@@ -1,0 +1,224 @@
+"""Request/response RPC over the simulated network.
+
+Semantics are deliberately *at-most-once with silent loss*: a call either
+returns the handler's value, raises a typed remote error, or raises
+:class:`~repro.sim.errors.RPCTimeout` -- and on timeout the caller cannot
+know whether the request was lost, the response was lost, or the server
+crashed.  Exactly-once behaviour has to be built *on top* of this (that is
+what GRAM's two-phase commit with sequence numbers does, and what the
+CLAIM-2PC benchmark measures).
+
+Usage::
+
+    class EchoService(Service):
+        service_name = "echo"
+        def handle_ping(self, ctx, text):
+            return text.upper()
+
+    # inside a process generator:
+    value = yield from call(my_host, "server-host", "echo", "ping",
+                            timeout=5.0, text="hi")
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from .errors import (
+    AuthenticationError,
+    AuthorizationError,
+    RemoteError,
+    RPCTimeout,
+    ServiceUnavailable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hosts import Host
+    from .network import Datagram
+
+_ERROR_KINDS = {
+    "AuthenticationError": AuthenticationError,
+    "AuthorizationError": AuthorizationError,
+    "ServiceUnavailable": ServiceUnavailable,
+}
+
+
+@dataclass(frozen=True)
+class CallContext:
+    """Information about the remote caller, passed to every handler."""
+
+    caller_host: str
+    credential: Any = None
+    principal: Optional[str] = None   # local account after gridmap mapping
+
+
+class _ReplyDispatch:
+    """Hidden per-host service that routes RPC responses to waiting events."""
+
+    SERVICE = "_rpc"
+
+    def __init__(self, host: "Host"):
+        self.pending: dict[int, Any] = {}
+        host.register_service(self.SERVICE, self)
+
+    def deliver(self, dgram: "Datagram") -> None:
+        token = dgram.payload.get("token")
+        ev = self.pending.pop(token, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed(dgram.payload)
+
+
+def _dispatch(host: "Host") -> _ReplyDispatch:
+    disp = host.get_service(_ReplyDispatch.SERVICE)
+    if disp is None:
+        disp = _ReplyDispatch(host)
+    return disp
+
+
+def _next_token(sim) -> int:
+    counter = getattr(sim, "_rpc_tokens", None)
+    if counter is None:
+        counter = itertools.count(1)
+        sim._rpc_tokens = counter
+    return next(counter)
+
+
+def call(
+    src: "Host",
+    dst: str,
+    service: str,
+    method: str,
+    timeout: float = 10.0,
+    credential: Any = None,
+    **args: Any,
+) -> Generator[Any, Any, Any]:
+    """RPC a remote service method; use with ``yield from``.
+
+    Raises :class:`RPCTimeout` if no response arrives within ``timeout``
+    simulated seconds, or a typed error mirroring the remote exception.
+    """
+    sim = src.sim
+    net = sim.network
+    if net is None:
+        raise RuntimeError("simulation has no Network")
+    disp = _dispatch(src)
+    token = _next_token(sim)
+    reply = sim.event(name=f"rpc:{service}.{method}:{token}")
+    disp.pending[token] = reply
+    net.send(src, dst, service, {
+        "kind": "request",
+        "method": method,
+        "args": args,
+        "token": token,
+        "reply_to": src.name,
+        "credential": credential,
+    })
+    timer = sim.timeout(timeout)
+    index, value = yield sim.any_of([reply, timer])
+    if index == 1:
+        disp.pending.pop(token, None)
+        raise RPCTimeout(f"{service}.{method} on {dst} (after {timeout}s)")
+    timer.cancel()
+    if value["ok"]:
+        return value["value"]
+    err = value["error"]
+    exc_type = _ERROR_KINDS.get(err["kind"], RemoteError)
+    if exc_type is RemoteError:
+        raise RemoteError(err["message"], kind=err["kind"])
+    raise exc_type(err["message"])
+
+
+def notify(
+    src: "Host",
+    dst: str,
+    service: str,
+    method: str,
+    credential: Any = None,
+    **args: Any,
+) -> None:
+    """One-way datagram dispatched to ``handle_<method>`` (no response)."""
+    net = src.sim.network
+    net.send(src, dst, service, {
+        "kind": "request",
+        "method": method,
+        "args": args,
+        "token": None,
+        "reply_to": src.name,
+        "credential": credential,
+    })
+
+
+class Service:
+    """Base class for RPC services.
+
+    Subclasses define ``handle_<method>(self, ctx, **kwargs)``; handlers may
+    be plain methods or generators (which can do simulated work / nested
+    RPCs).  Setting ``authorizer`` enforces GSI-style authentication on
+    every request; on success the mapped local principal is available as
+    ``ctx.principal``.
+    """
+
+    service_name: str = ""
+
+    def __init__(self, host: "Host", name: str = "", authorizer: Any = None):
+        self.host = host
+        self.sim = host.sim
+        self.name = name or self.service_name
+        if not self.name:
+            raise ValueError("service needs a name")
+        self.authorizer = authorizer
+        host.register_service(self.name, self)
+
+    def shutdown(self) -> None:
+        self.host.unregister_service(self.name)
+
+    # -- delivery -----------------------------------------------------------
+    def deliver(self, dgram: "Datagram") -> None:
+        payload = dgram.payload
+        if payload.get("kind") != "request":
+            return
+        self.host.spawn(
+            self._serve(dgram),
+            name=f"{self.name}.{payload.get('method')}@{self.host.name}",
+        )
+
+    def _serve(self, dgram: "Datagram") -> Generator[Any, Any, None]:
+        payload = dgram.payload
+        method = payload["method"]
+        token = payload["token"]
+        ok, value, error = True, None, None
+        try:
+            principal = None
+            if self.authorizer is not None:
+                principal = self.authorizer.authorize(
+                    payload.get("credential"), self.sim.now
+                )
+            ctx = CallContext(
+                caller_host=dgram.src,
+                credential=payload.get("credential"),
+                principal=principal,
+            )
+            handler = getattr(self, "handle_" + method, None)
+            if handler is None:
+                raise ServiceUnavailable(
+                    f"service {self.name} has no method {method!r}")
+            result = handler(ctx, **payload["args"])
+            if inspect.isgenerator(result):
+                result = yield from result
+            value = result
+        except Exception as exc:  # noqa: BLE001 - marshalled to the caller
+            ok = False
+            error = {"kind": type(exc).__name__, "message": str(exc)}
+        if token is None:
+            return
+        self.sim.network.send(self.host, payload["reply_to"],
+                              _ReplyDispatch.SERVICE, {
+            "kind": "response",
+            "token": token,
+            "ok": ok,
+            "value": value,
+            "error": error,
+        })

@@ -1,0 +1,112 @@
+"""Synchronization primitives for simulation processes.
+
+Small, deterministic building blocks in the style of SimPy's resources:
+
+* :class:`Semaphore` -- counted resource with FIFO waiters;
+* :class:`Lock` -- a semaphore of one;
+* :class:`Store` -- an unbounded FIFO of items with blocking get.
+
+All waits are events, so they compose with ``any_of``/timeouts like
+everything else in the kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, TYPE_CHECKING
+
+from .errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Event, Simulator
+
+
+class Semaphore:
+    """A counted resource; `acquire` events fire in FIFO order."""
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = ""):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.sim = sim
+        self.name = name or "semaphore"
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: deque[tuple[int, "Event"]] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, n: int = 1) -> "Event":
+        """Event that fires once `n` units are granted to the caller."""
+        if n < 1:
+            raise ValueError("acquire at least 1 unit")
+        if n > self.capacity:
+            raise SimulationError(
+                f"{self.name}: acquiring {n} can never succeed "
+                f"(capacity {self.capacity})")
+        ev = self.sim.event(name=f"{self.name}.acquire({n})")
+        self._waiters.append((n, ev))
+        self._grant()
+        return ev
+
+    def release(self, n: int = 1) -> None:
+        self._available += n
+        if self._available > self.capacity:
+            raise SimulationError(f"{self.name}: released above capacity")
+        self._grant()
+
+    def _grant(self) -> None:
+        # strict FIFO: a big request at the head blocks smaller ones
+        # behind it (no starvation of wide requests)
+        while self._waiters:
+            n, ev = self._waiters[0]
+            if ev.triggered or ev._cancelled:
+                self._waiters.popleft()
+                continue
+            if n > self._available:
+                return
+            self._waiters.popleft()
+            self._available -= n
+            ev.succeed(n)
+
+
+class Lock(Semaphore):
+    """A mutex."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        super().__init__(sim, capacity=1, name=name or "lock")
+
+
+class Store:
+    """Unbounded FIFO of items; `get` blocks until something arrives."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name or "store"
+        self._items: deque[Any] = deque()
+        self._getters: deque["Event"] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            ev = self._getters.popleft()
+            if ev.triggered or ev._cancelled:
+                continue
+            ev.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> "Event":
+        ev = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

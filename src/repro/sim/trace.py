@@ -1,0 +1,85 @@
+"""Structured event tracing.
+
+Every subsystem reports interesting transitions (`sim.trace.log(component,
+event, **details)`), producing a single ordered record of the run.  The
+Figure-1/Figure-2 benchmarks assert the component interaction sequence
+directly against this trace, and the metrics module derives concurrency
+timelines from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    component: str
+    event: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time:12.3f}] {self.component:<24} {self.event:<28} {kv}"
+
+
+class Trace:
+    """Append-only log of :class:`TraceRecord` with simple query helpers."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def log(self, component: str, event: str, **details: Any) -> None:
+        if not self.enabled:
+            return
+        rec = TraceRecord(self.sim.now, component, event, details)
+        self.records.append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(fn)
+
+    # -- queries ----------------------------------------------------------
+    def select(
+        self,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+        **match: Any,
+    ) -> list[TraceRecord]:
+        out = []
+        for rec in self.records:
+            if component is not None and rec.component != component:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            if any(rec.details.get(k) != v for k, v in match.items()):
+                continue
+            out.append(rec)
+        return out
+
+    def events(self, component: Optional[str] = None) -> list[str]:
+        """Ordered event names, optionally restricted to one component."""
+        return [r.event for r in self.records
+                if component is None or r.component == component]
+
+    def contains_sequence(self, *events: str, component: Optional[str] = None
+                          ) -> bool:
+        """True if `events` occur in order (not necessarily adjacent)."""
+        it: Iterator[str] = iter(self.events(component))
+        return all(ev in it for ev in events)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        recs = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(r) for r in recs)
+
+    def clear(self) -> None:
+        self.records.clear()

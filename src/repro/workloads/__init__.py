@@ -1,0 +1,22 @@
+"""Workloads: the paper's three experiences plus synthetic load."""
+
+from .cms import CMSBookkeeping, CMSConfig, build_cms_dag
+from .gaussian import GaussianJobConfig, expected_output, gaussian_program
+from .lap import (
+    BBNode,
+    BBResult,
+    QAPBranchAndBound,
+    QAPInstance,
+    gilmore_lawler_bound,
+    lap_solve,
+)
+from .masterworker import Master, MWTask, QAPMaster, SyntheticMaster
+from .synthetic import BackgroundLoad, saturate
+
+__all__ = [
+    "BBNode", "BBResult", "BackgroundLoad", "CMSBookkeeping", "CMSConfig",
+    "GaussianJobConfig", "Master", "MWTask", "QAPBranchAndBound",
+    "QAPInstance", "QAPMaster", "SyntheticMaster", "build_cms_dag",
+    "expected_output", "gaussian_program", "gilmore_lawler_bound",
+    "lap_solve", "saturate",
+]

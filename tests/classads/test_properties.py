@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for ClassAd invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classads import ClassAd, ERROR, UNDEFINED, parse
+from repro.classads.ast import EvalContext
+from repro.classads.values import value_repr
+
+# -- value strategies ---------------------------------------------------------
+
+ints = st.integers(min_value=-10**9, max_value=10**9)
+reals = st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False)
+# Strings without control chars; printable source round-trip.
+texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=20)
+scalars = st.one_of(ints, reals, texts, st.booleans(),
+                    st.just(UNDEFINED), st.just(ERROR))
+
+attr_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+
+
+def ev(text, **kw):
+    return parse(text).eval(EvalContext(**kw))
+
+
+# -- round-trip properties ------------------------------------------------------
+
+@given(scalars)
+def test_value_repr_round_trips_through_parser(value):
+    """unparse(value) reparses and evaluates to the same value."""
+    src = value_repr(value)
+    back = ev(src)
+    if isinstance(value, float):
+        assert isinstance(back, float) and math.isclose(back, value,
+                                                        rel_tol=1e-12)
+    else:
+        assert back is value or back == value
+        # preserve bool-vs-int distinction
+        assert isinstance(back, bool) == isinstance(value, bool)
+
+
+@given(st.lists(scalars, max_size=5))
+def test_list_repr_round_trips(values):
+    src = value_repr(values)
+    back = ev(src)
+    assert len(back) == len(values)
+
+
+@given(st.dictionaries(attr_names.map(str.lower), ints, max_size=6))
+def test_ad_parse_str_round_trip(attrs):
+    ad = ClassAd(attrs)
+    back = ClassAd.parse(str(ad))
+    assert set(n.lower() for n in back) == set(attrs)
+    for name, value in attrs.items():
+        assert back.eval(name) == value
+
+
+@given(st.text(max_size=40))
+def test_parser_never_crashes_unexpectedly(text):
+    """Arbitrary input either parses or raises ClassAdSyntaxError."""
+    from repro.classads import ClassAdSyntaxError
+
+    try:
+        parse(text)
+    except ClassAdSyntaxError:
+        pass
+    except RecursionError:
+        pass  # pathological nesting is acceptable to reject this way
+
+
+# -- expression algebra --------------------------------------------------------
+
+expr_leaves = st.one_of(
+    ints.map(lambda n: str(n)),
+    st.just("true"), st.just("false"),
+    st.just("undefined"), st.just("error"),
+    st.just("missing"),   # an attr that resolves to UNDEFINED
+)
+
+
+@st.composite
+def bool_exprs(draw, depth=3):
+    if depth == 0:
+        return draw(expr_leaves)
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(expr_leaves)
+    if kind == 1:
+        return f"!({draw(bool_exprs(depth=depth - 1))})"
+    a = draw(bool_exprs(depth=depth - 1))
+    b = draw(bool_exprs(depth=depth - 1))
+    op = {2: "&&", 3: "||", 4: "=="}[kind]
+    return f"({a}) {op} ({b})"
+
+
+@given(bool_exprs())
+@settings(max_examples=200)
+def test_evaluation_is_deterministic(src):
+    a = ev(src, my=ClassAd())
+    b = ev(src, my=ClassAd())
+    assert type(a) is type(b) and (a is b or a == b)
+
+
+@given(bool_exprs())
+@settings(max_examples=200)
+def test_logic_ops_commute(src):
+    """a && b == b && a in three-valued logic (same for ||)."""
+    other = "true"
+    assert ev(f"({src}) && ({other})") is ev(f"({other}) && ({src})")
+    assert ev(f"({src}) || ({other})") is ev(f"({other}) || ({src})")
+
+
+@given(bool_exprs())
+@settings(max_examples=200)
+def test_double_negation_preserves_truth(src):
+    v1 = ev(src)
+    v2 = ev(f"!!({src})")
+    if v1 in (UNDEFINED, ERROR):
+        assert v2 is v1
+    else:
+        # numbers collapse to booleans under !!; truthiness is preserved
+        from repro.classads import is_true
+        assert is_true(v1) == is_true(v2)
+
+
+@given(bool_exprs())
+@settings(max_examples=200)
+def test_de_morgan(src):
+    b = "false"
+    lhs = ev(f"!(({src}) && ({b}))")
+    rhs = ev(f"(!({src})) || (!({b}))")
+    assert lhs is rhs or lhs == rhs
+
+
+@given(ints, ints)
+def test_integer_arithmetic_matches_python(a, b):
+    assert ev(f"({a}) + ({b})") == a + b
+    assert ev(f"({a}) - ({b})") == a - b
+    assert ev(f"({a}) * ({b})") == a * b
+
+
+@given(ints, ints)
+def test_division_c_semantics(a, b):
+    if b == 0:
+        assert ev(f"({a}) / ({b})") is ERROR
+    else:
+        assert ev(f"({a}) / ({b})") == int(a / b)
+
+
+@given(ints, ints)
+def test_comparison_total_order(a, b):
+    assert ev(f"({a}) < ({b})") == (a < b)
+    assert ev(f"({a}) == ({b})") == (a == b)
+    # exactly one of <, ==, > holds
+    results = [ev(f"({a}) {op} ({b})") for op in ("<", "==", ">")]
+    assert sum(results) == 1
+
+
+@given(scalars)
+def test_meta_equal_reflexive(v):
+    src = value_repr(v)
+    if isinstance(v, float) and (math.isnan(v)):
+        return
+    assert ev(f"({src}) =?= ({src})") is True
+    assert ev(f"({src}) =!= ({src})") is False
+
+
+@given(texts, texts)
+def test_string_equality_is_case_insensitive(a, b):
+    expected = a.lower() == b.lower()
+    assert ev(f"{value_repr(a)} == {value_repr(b)}") == expected
+
+
+@given(st.dictionaries(attr_names.map(str.lower), ints, min_size=1,
+                       max_size=6))
+def test_attr_lookup_case_insensitive(attrs):
+    ad = ClassAd(attrs)
+    for name, value in attrs.items():
+        assert ad.eval(name.upper()) == value
+        assert ad.eval(name.lower()) == value
+
+
+@given(st.dictionaries(attr_names, ints, max_size=6))
+def test_copy_is_independent(attrs):
+    ad = ClassAd(attrs)
+    dup = ad.copy()
+    dup["NewAttr123"] = 1
+    assert "NewAttr123" not in ad

@@ -1,0 +1,45 @@
+"""Negotiator fair-share across submitters."""
+
+import pytest
+
+from repro.condor import Schedd, build_pool
+from repro.sim import Host, Network, Simulator
+
+
+def test_two_submitters_share_a_small_pool():
+    sim = Simulator(seed=59)
+    Network(sim, latency=0.02, jitter=0.0)
+    pool = build_pool(sim, "pool", workers=2, cycle_interval=10.0)
+    hog_host = Host(sim, "hog-submit")
+    meek_host = Host(sim, "meek-submit")
+    hog = Schedd(hog_host, name="hog", collector=pool.collector_contact)
+    meek = Schedd(meek_host, name="meek",
+                  collector=pool.collector_contact)
+    # the hog floods first; the meek user arrives a bit later
+    hog_ids = [hog.submit_simple("hog", runtime=100.0)
+               for _ in range(12)]
+    sim.run(until=150.0)
+    meek_ids = [meek.submit_simple("meek", runtime=100.0)
+                for _ in range(3)]
+    sim.run(until=4000.0)
+    assert all(hog.status(j).state == "COMPLETED" for j in hog_ids)
+    assert all(meek.status(j).state == "COMPLETED" for j in meek_ids)
+    # fair-share: the meek user's jobs did not wait for the hog's whole
+    # backlog (12 jobs / 2 slots = 600s); they got slots promptly
+    meek_last = max(meek.status(j).end_time for j in meek_ids)
+    hog_last = max(hog.status(j).end_time for j in hog_ids)
+    assert meek_last < hog_last
+
+
+def test_usage_decays_over_time():
+    sim = Simulator(seed=59)
+    Network(sim, latency=0.02, jitter=0.0)
+    pool = build_pool(sim, "pool", workers=1, cycle_interval=10.0)
+    submit = Host(sim, "s1")
+    schedd = Schedd(submit, name="u1", collector=pool.collector_contact)
+    schedd.submit_simple("u1", runtime=50.0)
+    sim.run(until=500.0)
+    usage_after_run = pool.negotiator.usage.get("u1", 0.0)
+    assert usage_after_run > 0.0
+    sim.run(until=5000.0)
+    assert pool.negotiator.usage.get("u1", 0.0) < usage_after_run

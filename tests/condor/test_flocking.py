@@ -1,0 +1,66 @@
+"""Condor flocking (§7): load sharing between Condor pools.
+
+The paper's point: flocking requires *both* domains to run Condor and
+uses Condor-specific sharing, whereas Condor-G reaches any GRAM
+resource.  These tests pin the mechanism itself; the comparison against
+Condor-G is benchmarked in bench_claim_flocking.
+"""
+
+import pytest
+
+from repro.condor import Schedd, build_pool
+from repro.sim import Host, Network, Simulator
+
+
+def test_schedd_flocks_jobs_to_remote_pool():
+    sim = Simulator(seed=51)
+    Network(sim, latency=0.02, jitter=0.0)
+    home = build_pool(sim, "home", workers=1, cycle_interval=10.0)
+    away = build_pool(sim, "away", workers=3, cycle_interval=10.0)
+    submit = Host(sim, "submit")
+    schedd = Schedd(submit, collector=home.collector_contact,
+                    flock_to=[away.collector_contact])
+    ids = [schedd.submit_simple("alice", runtime=100.0) for _ in range(4)]
+    sim.run(until=5000.0)
+    jobs = [schedd.status(i) for i in ids]
+    assert all(j.state == "COMPLETED" for j in jobs)
+    machines = {j.matched_to for j in jobs}
+    # with only 1 home slot, some jobs must have run in the away pool
+    assert any(m.startswith("slot@away") for m in machines)
+    assert any(m.startswith("slot@home") for m in machines)
+
+
+def test_without_flocking_jobs_wait_for_home_pool():
+    sim = Simulator(seed=51)
+    Network(sim, latency=0.02, jitter=0.0)
+    home = build_pool(sim, "home", workers=1, cycle_interval=10.0)
+    build_pool(sim, "away", workers=3, cycle_interval=10.0)
+    submit = Host(sim, "submit")
+    schedd = Schedd(submit, collector=home.collector_contact)  # no flock
+    ids = [schedd.submit_simple("alice", runtime=100.0) for _ in range(4)]
+    sim.run(until=5000.0)
+    jobs = [schedd.status(i) for i in ids]
+    assert all(j.state == "COMPLETED" for j in jobs)
+    assert all(j.matched_to.startswith("slot@home") for j in jobs)
+    # serialized on the single home slot
+    assert max(j.end_time for j in jobs) >= 400.0
+
+
+def test_flocking_cannot_reach_non_condor_sites():
+    """The structural limitation: a PBS site has no Collector to flock
+    to, so a flocking schedd simply has nowhere to send work -- while
+    Condor-G's GRAM path reaches it (shown in agent tests)."""
+    sim = Simulator(seed=51)
+    Network(sim, latency=0.02, jitter=0.0)
+    home = build_pool(sim, "home", workers=0, cycle_interval=10.0)
+    # a PBS "site": an LRM with no Condor daemons at all
+    from repro.lrm import PBSCluster
+
+    pbs_host = Host(sim, "pbs-site", site="pbs-site")
+    PBSCluster(pbs_host, slots=16)
+    submit = Host(sim, "submit")
+    schedd = Schedd(submit, collector=home.collector_contact,
+                    flock_to=["pbs-site"])       # pointless but harmless
+    jid = schedd.submit_simple("alice", runtime=50.0)
+    sim.run(until=3000.0)
+    assert schedd.status(jid).state == "IDLE"    # nothing can match it

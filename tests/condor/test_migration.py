@@ -1,0 +1,50 @@
+"""Explicit migration (§5: 'migrates the job to another location if
+requested to do so')."""
+
+import pytest
+
+from repro.condor import Schedd, build_pool
+from repro.sim import Host, Network, Simulator
+
+
+def test_vacate_job_migrates_with_checkpoint():
+    sim = Simulator(seed=61)
+    Network(sim, latency=0.02, jitter=0.0)
+    pool = build_pool(sim, "pool", workers=2, cycle_interval=10.0)
+    submit = Host(sim, "submit")
+    schedd = Schedd(submit, collector=pool.collector_contact)
+    jid = schedd.submit_simple("alice", runtime=500.0,
+                               universe="standard")
+    sim.run(until=200.0)
+    job = schedd.status(jid)
+    assert job.state == "RUNNING"
+    first_slot = job.matched_to
+    assert schedd.vacate_job(jid)
+    sim.run(until=3000.0)
+    job = schedd.status(jid)
+    assert job.state == "COMPLETED"
+    assert job.restarts == 1
+    assert job.progress > 0.0                 # checkpoint travelled
+    # resumed rather than restarted: total elapsed << 200 wasted + 500
+    assert job.end_time - job.submit_time < 750.0
+    # (the pool has two slots; the rematch may land on either)
+    assert job.matched_to in {f"slot@pool-w{i}" for i in range(2)}
+
+
+def test_vacate_idle_job_refused():
+    sim = Simulator(seed=61)
+    Network(sim, latency=0.02, jitter=0.0)
+    build_pool(sim, "pool", workers=0, cycle_interval=10.0)
+    submit = Host(sim, "submit")
+    schedd = Schedd(submit, collector="pool-cm")
+    jid = schedd.submit_simple("alice", runtime=100.0)
+    sim.run(until=50.0)
+    assert schedd.vacate_job(jid) is False
+
+
+def test_vacate_unknown_job_refused():
+    sim = Simulator(seed=61)
+    Network(sim, latency=0.02, jitter=0.0)
+    submit = Host(sim, "submit")
+    schedd = Schedd(submit)
+    assert schedd.vacate_job("9999.0") is False

@@ -1,0 +1,42 @@
+"""Suite-wide safety net: a per-test wall-clock watchdog.
+
+The simulator is deterministic, so a test that runs long is a bug (an
+unbounded drain loop, a runaway daemon). The watchdog turns a silent
+hang into a named failure.
+"""
+
+import signal
+
+import pytest
+
+PER_TEST_SECONDS = 240
+
+
+class WatchdogTimeout(BaseException):
+    """Raised by the per-test alarm.
+
+    Deliberately a BaseException: the simulator's RPC layer marshals
+    ordinary exceptions raised inside handlers into remote errors, which
+    would swallow an ordinary TimeoutError and let a runaway test keep
+    spinning.
+    """
+
+
+@pytest.fixture(autouse=True)
+def _watchdog(request):
+    if not hasattr(signal, "SIGALRM"):   # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise WatchdogTimeout(
+            f"test exceeded {PER_TEST_SECONDS}s wall-clock: "
+            f"{request.node.nodeid}")
+
+    old = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(PER_TEST_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)

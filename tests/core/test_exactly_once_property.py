@@ -1,0 +1,74 @@
+"""Property-based exactly-once: random failure schedules, one invariant.
+
+The strongest claim in the paper is that the combination of two-phase
+commit, client-side persistence, probing, and JobManager state files
+yields exactly-once execution under *any* interleaving of the four
+failure classes.  Instead of hand-picking scenarios, hypothesis draws a
+random schedule of gatekeeper reboots, JobManager kills, partitions,
+and WAN loss -- and the invariant must hold every time:
+
+    every logical job completes, and the site's scheduler executed
+    exactly one LRM job per logical job.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GridTestbed, JobDescription
+
+N_JOBS = 3
+RUNTIME = 150.0
+
+failure_events = st.lists(
+    st.tuples(
+        st.sampled_from(["gk_reboot", "jm_kill", "partition"]),
+        st.floats(10.0, 400.0, allow_nan=False),   # when
+        st.floats(30.0, 200.0, allow_nan=False),   # how long (if any)
+    ),
+    min_size=0, max_size=3)
+
+
+@given(schedule=failure_events,
+       loss=st.sampled_from([0.0, 0.05, 0.15]),
+       seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_exactly_once_under_random_failures(schedule, loss, seed):
+    tb = GridTestbed(seed=seed, loss_rate=loss)
+    site = tb.add_site("site", scheduler="pbs", cpus=N_JOBS * 2)
+    agent = tb.add_agent("user")
+    ids = [agent.submit(JobDescription(runtime=RUNTIME + 10 * i),
+                        resource="site-gk") for i in range(N_JOBS)]
+
+    for kind, when, duration in schedule:
+        if kind == "gk_reboot":
+            tb.failures.crash_host_at(when, site.gk_host,
+                                      down_for=duration)
+        elif kind == "partition":
+            tb.failures.partition_at(when, agent.host.name,
+                                     site.gk_host.name,
+                                     heal_after=duration)
+        elif kind == "jm_kill":
+            def killer(t=when):
+                yield tb.sim.timeout(t)
+                for name, svc in list(site.gk_host.services.items()):
+                    if name.startswith("jm:"):
+                        svc.crash()
+                        break
+
+            tb.sim.spawn(killer())
+
+    cap = 4 * 10**4
+    while not all(agent.status(j).is_terminal for j in ids) \
+            and tb.sim.now < cap:
+        tb.sim.run(until=tb.sim.now + 1000.0)
+
+    # Invariant 1: everything completes (no lost jobs, no deadlock).
+    assert all(agent.status(j).is_complete for j in ids), (
+        [(j, agent.status(j).state, agent.status(j).failure_reason)
+         for j in ids], schedule, loss, seed)
+    # Invariant 2: exactly one successful LRM execution per logical job.
+    completed = [j for j in site.lrm.jobs.values()
+                 if j.state == "COMPLETED"]
+    assert len(completed) == N_JOBS, (schedule, loss, seed,
+                                      [(j.local_id, j.state)
+                                       for j in site.lrm.jobs.values()])

@@ -1,0 +1,85 @@
+"""Tests for replicated ("flooded") job submission (§4.4)."""
+
+import pytest
+
+from repro import GridTestbed, JobDescription
+from repro.core.flood import FloodingSubmitter
+from repro.workloads import saturate
+
+
+def make_tb(seed=91):
+    tb = GridTestbed(seed=seed)
+    tb.add_site("busy", scheduler="pbs", cpus=4)
+    tb.add_site("idle", scheduler="pbs", cpus=4)
+    saturate(tb.sites["busy"].lrm, jobs=16, runtime=2000.0)
+    return tb
+
+
+def run_until(tb, done, cap=3 * 10**4):
+    while not done() and tb.sim.now < cap:
+        tb.sim.run(until=tb.sim.now + 500.0)
+
+
+def test_flood_picks_fast_site_and_cancels_queued():
+    tb = make_tb()
+    agent = tb.add_agent("user")
+    flood = FloodingSubmitter(agent)
+    logical = flood.submit(JobDescription(runtime=300.0),
+                           sites=["busy-gk", "idle-gk"])
+    run_until(tb, lambda: flood.status(logical).is_terminal)
+    result = flood.status(logical)
+    assert result.is_complete
+    # the winner ran at the idle site
+    winner_status = agent.status(result.winner)
+    assert winner_status.resource == "idle-gk"
+    assert result.cancelled_queued == 1
+    assert result.wasted_executions == 0
+    # the busy-site replica was cancelled, not executed
+    busy_lrm = tb.sites["busy"].lrm
+    user_jobs = [j for j in busy_lrm.jobs.values()
+                 if j.owner != "local-user"]
+    assert all(j.state == "CANCELLED" for j in user_jobs)
+
+
+def test_flood_single_site_degenerates_to_plain_submit():
+    tb = make_tb()
+    agent = tb.add_agent("user")
+    flood = FloodingSubmitter(agent)
+    logical = flood.submit(JobDescription(runtime=100.0),
+                           sites=["idle-gk"])
+    run_until(tb, lambda: flood.status(logical).is_terminal)
+    assert flood.status(logical).is_complete
+    assert flood.status(logical).cancelled_queued == 0
+
+
+def test_flood_counts_wasted_execution_when_both_start():
+    tb = GridTestbed(seed=92)
+    tb.add_site("a", scheduler="pbs", cpus=4)
+    tb.add_site("b", scheduler="pbs", cpus=4)   # both idle: both start
+    agent = tb.add_agent("user")
+    flood = FloodingSubmitter(agent)
+    logical = flood.submit(JobDescription(runtime=400.0),
+                           sites=["a-gk", "b-gk"])
+    run_until(tb, lambda: flood.status(logical).is_terminal)
+    result = flood.status(logical)
+    assert result.is_complete
+    assert result.wasted_executions == 1    # the price of flooding
+
+
+def test_flood_fails_if_all_replicas_fail():
+    tb = GridTestbed(seed=93)
+    tb.add_site("a", scheduler="pbs", cpus=4)
+    agent = tb.add_agent("user")
+    flood = FloodingSubmitter(agent)
+    logical = flood.submit(JobDescription(runtime=50.0, exit_code=1),
+                           sites=["a-gk"])
+    run_until(tb, lambda: flood.status(logical).is_terminal)
+    assert flood.status(logical).state == "FAILED"
+
+
+def test_flood_requires_sites():
+    tb = make_tb()
+    agent = tb.add_agent("user")
+    flood = FloodingSubmitter(agent)
+    with pytest.raises(ValueError):
+        flood.submit(JobDescription(runtime=1.0), sites=[])

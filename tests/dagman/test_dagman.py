@@ -1,0 +1,224 @@
+"""Tests for the DAG model, parser, and the DAGMan engine."""
+
+import pytest
+
+from repro import GridTestbed, JobDescription
+from repro.dagman import Dag, DagError, DagMan, DagNode, parse_dag
+
+
+
+
+def run_until_dag_done(tb, dag, cap, chunk=2000.0):
+    """Advance in chunks; stop soon after the DAG resolves (agent daemons
+    otherwise keep the event heap alive to the full horizon)."""
+    while not (dag.is_complete() or dag.has_failed()) and tb.sim.now < cap:
+        tb.sim.run(until=tb.sim.now + chunk)
+    tb.sim.run(until=tb.sim.now + chunk)
+
+class TestDagModel:
+    def test_duplicate_node_rejected(self):
+        dag = Dag()
+        dag.add_node(DagNode("a"))
+        with pytest.raises(DagError):
+            dag.add_node(DagNode("a"))
+
+    def test_edge_to_unknown_node_rejected(self):
+        dag = Dag()
+        dag.add_node(DagNode("a"))
+        with pytest.raises(DagError):
+            dag.add_edge("a", "missing")
+
+    def test_cycle_detection(self):
+        dag = Dag()
+        for name in "abc":
+            dag.add_node(DagNode(name))
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        dag.add_edge("c", "a")
+        with pytest.raises(DagError, match="cycle"):
+            dag.validate()
+
+    def test_roots(self):
+        dag = Dag()
+        for name in "abc":
+            dag.add_node(DagNode(name))
+        dag.add_dependency(["a", "b"], "c")
+        assert {n.name for n in dag.roots()} == {"a", "b"}
+
+
+class TestParser:
+    DESCRIPTIONS = {
+        "sim.desc": (JobDescription(runtime=10.0), "site-gk"),
+        "reco.desc": (JobDescription(runtime=20.0), "other-gk"),
+    }
+
+    def test_parse_basic(self):
+        dag = parse_dag(
+            "# comment\n"
+            "JOB A sim.desc\n"
+            "JOB B sim.desc\n"
+            "JOB C reco.desc\n"
+            "PARENT A B CHILD C\n"
+            "RETRY C 2\n",
+            self.DESCRIPTIONS)
+        assert set(dag.nodes) == {"A", "B", "C"}
+        assert dag.parents["C"] == ["A", "B"]
+        assert dag.nodes["C"].retries == 2
+        assert dag.nodes["A"].resource == "site-gk"
+
+    def test_unknown_description_rejected(self):
+        with pytest.raises(DagError):
+            parse_dag("JOB A nope.desc", self.DESCRIPTIONS)
+
+    def test_retry_unknown_node_rejected(self):
+        with pytest.raises(DagError):
+            parse_dag("JOB A sim.desc\nRETRY B 1", self.DESCRIPTIONS)
+
+    def test_bad_keyword_rejected(self):
+        with pytest.raises(DagError):
+            parse_dag("FROB A", self.DESCRIPTIONS)
+
+    def test_callable_description_becomes_action(self):
+        def action(ctx):
+            yield ctx.sim.timeout(1.0)
+
+        dag = parse_dag("JOB X act", {"act": action})
+        assert dag.nodes["X"].action is action
+
+
+class TestEngine:
+    def make_tb(self):
+        tb = GridTestbed(seed=6)
+        tb.add_site("wisc", scheduler="pbs", cpus=8)
+        return tb
+
+    def test_linear_chain_runs_in_order(self):
+        tb = self.make_tb()
+        agent = tb.add_agent("alice")
+        dag = Dag()
+        for name in ("a", "b", "c"):
+            dag.add_node(DagNode(name,
+                                 description=JobDescription(runtime=30.0),
+                                 resource="wisc-gk"))
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        dagman = DagMan(agent, dag)
+        run_until_dag_done(tb, dag, cap=10**5)
+        assert dag.is_complete()
+        ends = {n: agent.status(dag.nodes[n].job_id).end_time
+                for n in "abc"}
+        starts = {n: agent.status(dag.nodes[n].job_id).start_time
+                  for n in "abc"}
+        assert ends["a"] <= starts["b"]
+        assert ends["b"] <= starts["c"]
+        assert dagman.finished.value is True
+
+    def test_diamond_parallelism(self):
+        tb = self.make_tb()
+        agent = tb.add_agent("alice")
+        dag = Dag()
+        for name in ("src", "l", "r", "sink"):
+            dag.add_node(DagNode(name,
+                                 description=JobDescription(runtime=50.0),
+                                 resource="wisc-gk"))
+        dag.add_dependency("src", ["l", "r"])
+        dag.add_dependency(["l", "r"], "sink")
+        DagMan(agent, dag)
+        run_until_dag_done(tb, dag, cap=10**5)
+        assert dag.is_complete()
+        l = agent.status(dag.nodes["l"].job_id)
+        r = agent.status(dag.nodes["r"].job_id)
+        # the two middle nodes overlapped
+        assert l.start_time < r.end_time and r.start_time < l.end_time
+
+    def test_failed_node_blocks_descendants(self):
+        tb = self.make_tb()
+        agent = tb.add_agent("alice")
+        dag = Dag()
+        dag.add_node(DagNode("bad",
+                             description=JobDescription(runtime=10.0,
+                                                        exit_code=1),
+                             resource="wisc-gk"))
+        dag.add_node(DagNode("after",
+                             description=JobDescription(runtime=10.0),
+                             resource="wisc-gk"))
+        dag.add_edge("bad", "after")
+        dagman = DagMan(agent, dag)
+        run_until_dag_done(tb, dag, cap=10**5)
+        assert dag.nodes["bad"].state == "FAILED"
+        assert dag.nodes["after"].state == "WAITING"
+        assert dagman.finished.value is False
+
+    def test_retry_eventually_succeeds(self):
+        """PRE script fails twice then passes: RETRY absorbs it."""
+        tb = self.make_tb()
+        agent = tb.add_agent("alice")
+        attempts = {"n": 0}
+
+        def flaky_pre(ctx):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                return False
+            return True
+
+        dag = Dag()
+        dag.add_node(DagNode("flaky",
+                             description=JobDescription(runtime=10.0),
+                             resource="wisc-gk",
+                             pre=flaky_pre, retries=5))
+        DagMan(agent, dag)
+        run_until_dag_done(tb, dag, cap=10**5)
+        assert dag.nodes["flaky"].state == "DONE"
+        assert dag.nodes["flaky"].attempts == 3
+
+    def test_action_node_runs_generator(self):
+        tb = self.make_tb()
+        agent = tb.add_agent("alice")
+        ran = []
+
+        def transfer(ctx):
+            yield ctx.sim.timeout(10.0)
+            ran.append(ctx.sim.now)
+
+        dag = Dag()
+        dag.add_node(DagNode("move", action=transfer))
+        DagMan(agent, dag)
+        run_until_dag_done(tb, dag, cap=10**4)
+        assert dag.is_complete()
+        assert ran
+
+
+class TestCMSPipeline:
+    def test_cms_dag_end_to_end(self):
+        from repro.gridftp import GridFTPServer
+        from repro.sim import Host
+        from repro.workloads import CMSConfig, build_cms_dag
+
+        tb = GridTestbed(seed=61)
+        tb.add_site("wisc", scheduler="condor", cpus=10)
+        tb.add_site("ncsa", scheduler="pbs", cpus=8)
+        repo = GridFTPServer(Host(tb.sim, "ncsa-mss"))
+        agent = tb.add_agent("caltech")
+        config = CMSConfig(
+            simulation_site="wisc-gk",
+            reconstruction_site="ncsa-gk",
+            repository="ncsa-mss",
+            n_simulation_jobs=10,
+            events_per_job=50,
+            sim_seconds_per_event=2.0,
+            reco_seconds_per_event=0.5,
+            buffer_limit_events=10_000,
+        )
+        dag, books = build_cms_dag(config)
+        DagMan(agent, dag)
+        run_until_dag_done(tb, dag, cap=10**6)
+        assert dag.is_complete()
+        assert books.events_simulated == 500
+        assert books.events_shipped == 500
+        assert books.events_reconstructed == 500
+        assert books.buffer_events == 0
+        # all event files are at the MSS
+        assert len(repo.files.list()) == 10
+        # reconstruction ran at NCSA after every transfer
+        reco = agent.status(dag.nodes["reco"].job_id)
+        assert reco.resource == "ncsa-gk"

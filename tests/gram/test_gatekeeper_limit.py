@@ -1,0 +1,69 @@
+"""Gatekeeper JobManager limits: the era's interface-machine bottleneck."""
+
+import pytest
+
+from repro import GridTestbed, JobDescription
+from repro.gram import GramJobRequest
+from repro.sim import RemoteError, call
+
+from .conftest import MiniGrid
+
+
+def test_limit_rejects_excess_submissions():
+    grid = MiniGrid(seed=5, slots=8)
+    grid.gatekeeper.max_jobmanagers = 2
+    results = {"ok": 0, "busy": 0}
+
+    def scenario():
+        for i in range(4):
+            try:
+                yield from call(grid.submit, "site-gk", "gatekeeper",
+                                "submit", seq=i,
+                                request=GramJobRequest(runtime=500.0))
+                results["ok"] += 1
+            except RemoteError as exc:
+                assert "limit" in str(exc)
+                results["busy"] += 1
+
+    grid.drive(scenario())
+    assert results == {"ok": 2, "busy": 2}
+    assert grid.gatekeeper.rejected_busy == 2
+
+
+def test_terminal_jobmanagers_do_not_count():
+    grid = MiniGrid(seed=5, slots=8)
+    grid.gatekeeper.max_jobmanagers = 1
+    outcome = {}
+
+    def scenario():
+        r = yield from grid.client.submit("site-gk",
+                                          GramJobRequest(runtime=10.0))
+        # wait for the first job to finish; its JM goes terminal
+        yield grid.sim.timeout(100.0)
+        r2 = yield from grid.client.submit("site-gk",
+                                           GramJobRequest(runtime=10.0))
+        outcome["second"] = r2["jmid"]
+        yield grid.sim.timeout(100.0)
+
+    grid.drive(scenario())
+    assert outcome["second"]
+    states = {j.state for j in grid.lrm.jobs.values()}
+    assert states == {"COMPLETED"}
+
+
+def test_agent_backs_off_and_eventually_runs_everything():
+    """A batch bigger than the gatekeeper's limit drains via the
+    GridManager's transient-failure retry path."""
+    tb = GridTestbed(seed=5)
+    site = tb.add_site("wisc", scheduler="pbs", cpus=8)
+    site.gatekeeper.max_jobmanagers = 3
+    agent = tb.add_agent("alice")
+    ids = [agent.submit(JobDescription(runtime=100.0),
+                        resource="wisc-gk") for i in range(9)]
+    tb.run_until_quiet(max_time=3 * 10**4)
+    done = [j for j in ids if agent.status(j).is_complete]
+    assert len(done) == 9
+    assert site.gatekeeper.rejected_busy > 0     # the limit really bit
+    # exactly-once held through the rejections
+    assert len([j for j in site.lrm.jobs.values()
+                if j.state == "COMPLETED"]) == 9

@@ -1,0 +1,197 @@
+"""GRAM submission path: Figure 1 without the Condor-G agent on top."""
+
+import pytest
+
+from repro.gram import DONE, FAILED, GramJobRequest, PENDING, UNCOMMITTED
+from repro.sim import RPCTimeout
+
+from .conftest import MiniGrid
+
+
+def submit_and_wait(grid, request, wait=200.0):
+    """Submit via 2PC, then poll until terminal; returns final status."""
+
+    def scenario():
+        response = yield from grid.client.submit(
+            "site-gk", request, callback=("submit", "gram-cb"))
+        jmid, contact = response["jmid"], response["contact"]
+        while True:
+            yield grid.sim.timeout(5.0)
+            status = yield from grid.client.status(contact, jmid)
+            if status["state"] in (DONE, FAILED):
+                return status
+
+    return grid.drive(scenario(), until=wait)
+
+
+def test_job_completes_via_gram(grid):
+    url = grid.gass.stage_in("sim.exe", size=1000)
+    box = submit_and_wait(grid, GramJobRequest(
+        executable_url=url, runtime=10.0))
+    assert box["value"]["state"] == DONE
+    assert box["value"]["exit_code"] == 0
+
+
+def test_figure1_interaction_sequence(grid):
+    """The trace shows the Figure-1 component interactions in order:
+    gatekeeper creates JobManager -> stage-in via GASS -> LRM submit ->
+    job starts -> job finishes -> JobManager reports DONE."""
+    url = grid.gass.stage_in("sim.exe", size=1000)
+    submit_and_wait(grid, GramJobRequest(executable_url=url, runtime=10.0))
+    trace = grid.sim.trace
+    assert trace.select("gatekeeper:site", "jobmanager_created")
+    jm = trace.select("gatekeeper:site", "jobmanager_created")[0]
+    jmid = jm.details["jmid"]
+    assert trace.contains_sequence(
+        "committed", "staged", "lrm_submit",
+        component=f"jobmanager:{jmid}")
+    assert trace.contains_sequence("submit", "start", "finish",
+                                   component="lrm:site-lrm")
+    assert trace.select("gass:submit", "get")   # executable staged
+
+
+def test_status_callbacks_delivered(grid):
+    url = grid.gass.stage_in("sim.exe", size=10)
+    submit_and_wait(grid, GramJobRequest(executable_url=url, runtime=10.0))
+    states = [kw["state"] for _, kw in grid.callbacks]
+    assert PENDING in states or "ACTIVE" in states
+    assert states[-1] == DONE
+
+
+def test_failing_job_reports_failed(grid):
+    box = submit_and_wait(grid, GramJobRequest(runtime=5.0, exit_code=2))
+    assert box["value"]["state"] == FAILED
+
+
+def test_walltime_limit_enforced_remotely(grid):
+    box = submit_and_wait(grid, GramJobRequest(runtime=500.0, walltime=20.0))
+    assert box["value"]["state"] == FAILED
+    assert "walltime" in box["value"]["failure_reason"]
+
+
+def test_stage_in_failure_fails_job(grid):
+    box = submit_and_wait(grid, GramJobRequest(
+        executable_url="gass://submit/gass/没有/missing", runtime=5.0))
+    assert box["value"]["state"] == FAILED
+    assert "stage-in" in box["value"]["failure_reason"]
+
+
+def test_cancel_running_job(grid):
+    def scenario():
+        response = yield from grid.client.submit(
+            "site-gk", GramJobRequest(runtime=1000.0))
+        yield grid.sim.timeout(30.0)
+        yield from grid.client.cancel(response["contact"],
+                                      response["jmid"])
+        yield grid.sim.timeout(10.0)
+        status = yield from grid.client.status(response["contact"],
+                                               response["jmid"])
+        return status
+
+    box = grid.drive(scenario())
+    assert box["value"]["state"] == FAILED
+    assert "cancel" in box["value"]["failure_reason"]
+
+
+def test_stdout_streams_back_to_submit_gass(grid):
+    def chatty(ctx):
+        for i in range(3):
+            ctx.write_output(f"event {i}\n")
+            yield ctx.sim.timeout(10.0)
+        return 0
+
+    stdout_url = grid.gass.url("job.out")
+    box = submit_and_wait(grid, GramJobRequest(
+        program=chatty, stdout_url=stdout_url, walltime=500.0))
+    assert box["value"]["state"] == DONE
+    assert grid.gass.read("job.out").data == "event 0\nevent 1\nevent 2\n"
+
+
+def test_commit_window_aborts_uncommitted_job(grid):
+    """Phase 1 without phase 2: the JobManager must abort, never run."""
+    from repro.sim import call
+
+    def scenario():
+        response = yield from call(
+            grid.submit, "site-gk", "gatekeeper", "submit",
+            seq=999, request=GramJobRequest(runtime=5.0))
+        # deliberately never send commit
+        yield grid.sim.timeout(300.0)
+        status = yield from grid.client.status(response["contact"],
+                                               response["jmid"])
+        return status
+
+    box = grid.drive(scenario())
+    assert box["value"]["state"] == FAILED
+    assert "commit window" in box["value"]["failure_reason"]
+    assert not grid.lrm.jobs   # nothing ever reached the local scheduler
+
+
+def test_duplicate_submit_same_seq_creates_one_job(grid):
+    from repro.sim import call
+
+    def scenario():
+        r1 = yield from call(grid.submit, "site-gk", "gatekeeper", "submit",
+                             seq=7, request=GramJobRequest(runtime=5.0))
+        r2 = yield from call(grid.submit, "site-gk", "gatekeeper", "submit",
+                             seq=7, request=GramJobRequest(runtime=5.0))
+        yield from grid.client.commit(r1["contact"], r1["jmid"])
+        yield grid.sim.timeout(60.0)
+        return r1, r2
+
+    box = grid.drive(scenario())
+    r1, r2 = box["value"]
+    assert r1["jmid"] == r2["jmid"]
+    assert len(grid.lrm.jobs) == 1
+
+
+def test_different_seq_creates_different_jobs(grid):
+    from repro.sim import call
+
+    def scenario():
+        r1 = yield from call(grid.submit, "site-gk", "gatekeeper", "submit",
+                             seq=1, request=GramJobRequest(runtime=5.0))
+        r2 = yield from call(grid.submit, "site-gk", "gatekeeper", "submit",
+                             seq=2, request=GramJobRequest(runtime=5.0))
+        yield from grid.client.commit(r1["contact"], r1["jmid"])
+        yield from grid.client.commit(r2["contact"], r2["jmid"])
+        yield grid.sim.timeout(60.0)
+        return r1, r2
+
+    box = grid.drive(scenario())
+    r1, r2 = box["value"]
+    assert r1["jmid"] != r2["jmid"]
+    assert len(grid.lrm.jobs) == 2
+
+
+def test_ping_gatekeeper(grid):
+    def scenario():
+        site = yield from grid.client.ping_gatekeeper("site-gk")
+        return site
+
+    assert grid.drive(scenario())["value"] == "site"
+
+
+def test_ping_down_gatekeeper_times_out(grid):
+    grid.gk_host.crash()
+
+    def scenario():
+        try:
+            yield from grid.client.ping_gatekeeper("site-gk")
+        except RPCTimeout:
+            return "timeout"
+
+    assert grid.drive(scenario())["value"] == "timeout"
+
+
+def test_queue_info_via_gatekeeper(grid):
+    from repro.sim import call
+
+    def scenario():
+        info = yield from call(grid.submit, "site-gk", "gatekeeper",
+                               "queue_info")
+        return info
+
+    box = grid.drive(scenario())
+    assert box["value"]["slots"] == 4
+    assert box["value"]["site"] == "site"

@@ -1,0 +1,117 @@
+"""Tests for run metrics: concurrency, timelines, queue waits."""
+
+import pytest
+
+from repro.grid.metrics import concurrency, percentile, queue_waits, \
+    timeline
+from repro.sim import Simulator
+
+
+def make_trace(records):
+    sim = Simulator()
+    for t, component, event, details in records:
+        sim.now = t
+        sim.trace.log(component, event, **details)
+    return sim.trace
+
+
+def test_concurrency_single_interval():
+    trace = make_trace([
+        (0.0, "lrm:a", "start", {"job": "j1"}),
+        (10.0, "lrm:a", "finish", {"job": "j1"}),
+    ])
+    stats = concurrency(trace)
+    assert stats.cpu_seconds == 10.0
+    assert stats.peak_busy == 1
+    assert stats.average_busy == pytest.approx(1.0)
+    assert stats.cpu_hours == pytest.approx(10.0 / 3600.0)
+
+
+def test_concurrency_overlapping_intervals():
+    trace = make_trace([
+        (0.0, "lrm:a", "start", {"job": "j1"}),
+        (5.0, "lrm:a", "start", {"job": "j2"}),
+        (10.0, "lrm:a", "finish", {"job": "j1"}),
+        (15.0, "lrm:a", "finish", {"job": "j2"}),
+    ])
+    stats = concurrency(trace)
+    assert stats.cpu_seconds == pytest.approx(20.0)
+    assert stats.peak_busy == 2
+    assert stats.average_busy == pytest.approx(20.0 / 15.0)
+    assert stats.span == pytest.approx(15.0)
+
+
+def test_concurrency_preempt_closes_interval():
+    trace = make_trace([
+        (0.0, "lrm:a", "start", {"job": "j1"}),
+        (4.0, "lrm:a", "preempt", {"job": "j1"}),
+        (6.0, "lrm:a", "start", {"job": "j1"}),
+        (10.0, "lrm:a", "finish", {"job": "j1"}),
+    ])
+    stats = concurrency(trace)
+    assert stats.cpu_seconds == pytest.approx(8.0)
+
+
+def test_unclosed_interval_extends_to_trace_end():
+    trace = make_trace([
+        (0.0, "lrm:a", "start", {"job": "j1"}),
+        (20.0, "other", "tick", {}),
+    ])
+    stats = concurrency(trace)
+    assert stats.cpu_seconds == pytest.approx(20.0)
+
+
+def test_empty_trace_gives_zeroes():
+    trace = make_trace([])
+    stats = concurrency(trace)
+    assert stats.cpu_seconds == 0.0
+    assert stats.peak_busy == 0
+
+
+def test_startd_prefix_uses_sandbox_events():
+    trace = make_trace([
+        (0.0, "startd:s1", "job_start", {"job": "1.0"}),
+        (8.0, "startd:s1", "job_vacated", {"job": "1.0"}),
+        (10.0, "startd:s2", "job_start", {"job": "2.0"}),
+        (20.0, "startd:s2", "job_done", {"job": "2.0"}),
+    ])
+    stats = concurrency(trace, component_prefix="startd:")
+    assert stats.cpu_seconds == pytest.approx(18.0)
+    assert stats.peak_busy == 1
+
+
+def test_job_filter():
+    trace = make_trace([
+        (0.0, "lrm:a", "start", {"job": "condor.1"}),
+        (10.0, "lrm:a", "finish", {"job": "condor.1"}),
+        (0.0, "lrm:a", "start", {"job": "pbs.1"}),
+        (30.0, "lrm:a", "finish", {"job": "pbs.1"}),
+    ])
+    stats = concurrency(trace, job_filter="condor")
+    assert stats.cpu_seconds == pytest.approx(10.0)
+
+
+def test_timeline_buckets():
+    trace = make_trace([
+        (0.0, "lrm:a", "start", {"job": "j1"}),
+        (10.0, "lrm:a", "finish", {"job": "j1"}),
+    ])
+    edges, busy = timeline(trace, bucket=5.0)
+    assert len(edges) == len(busy)
+    assert busy[0] == pytest.approx(1.0)
+    assert busy[1] == pytest.approx(1.0)
+
+
+def test_queue_waits_extraction():
+    trace = make_trace([
+        (0.0, "lrm:a", "start", {"job": "j1", "waited": 3.5}),
+        (1.0, "lrm:a", "start", {"job": "j2", "waited": 0.0}),
+        (2.0, "other", "start", {"waited": 99.0}),
+    ])
+    assert queue_waits(trace) == [3.5, 0.0]
+
+
+def test_percentile():
+    assert percentile([], 95) == 0.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+    assert percentile(range(101), 99) == pytest.approx(99.0)

@@ -1,0 +1,103 @@
+"""Tests for failure injection and the trace utilities."""
+
+import pytest
+
+from repro.sim import FailureInjector, Host, Network, Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=19)
+    net = Network(sim, latency=0.01, jitter=0.0)
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    return sim, net, a, b
+
+
+class TestFailureInjector:
+    def test_crash_and_restart_schedule(self, env):
+        sim, net, a, b = env
+        inj = FailureInjector(sim)
+        inj.crash_host_at(10.0, a, down_for=5.0)
+        sim.run(until=9.0)
+        assert a.up
+        sim.run(until=12.0)
+        assert not a.up
+        sim.run(until=20.0)
+        assert a.up
+        kinds = [e.kind for e in inj.injected]
+        assert kinds == ["crash", "restart"]
+
+    def test_partition_and_heal(self, env):
+        sim, net, a, b = env
+        inj = FailureInjector(sim)
+        inj.partition_at(5.0, "a", "b", heal_after=10.0)
+        sim.run(until=6.0)
+        assert not net.reachable("a", "b")
+        sim.run(until=16.0)
+        assert net.reachable("a", "b")
+
+    def test_isolation(self, env):
+        sim, net, a, b = env
+        inj = FailureInjector(sim)
+        inj.isolate_at(5.0, "a", rejoin_after=10.0)
+        sim.run(until=6.0)
+        assert not net.reachable("a", "b")
+        assert not net.reachable("b", "a")
+        sim.run(until=16.0)
+        assert net.reachable("a", "b")
+
+    def test_random_crashes_deterministic(self):
+        def one_run():
+            sim = Simulator(seed=77)
+            Network(sim, latency=0.01, jitter=0.0)
+            host = Host(sim, "x")
+            inj = FailureInjector(sim)
+            inj.random_crashes(host, mtbf=100.0, downtime=10.0,
+                               horizon=1000.0)
+            sim.run(until=1000.0)
+            return [(e.time, e.kind) for e in inj.injected]
+
+        first = one_run()
+        assert first == one_run()
+        assert any(kind == "crash" for _t, kind in first)
+
+
+class TestTrace:
+    def test_select_filters(self, env):
+        sim, net, a, b = env
+        sim.trace.log("comp", "ev1", x=1)
+        sim.trace.log("comp", "ev2", x=2)
+        sim.trace.log("other", "ev1", x=3)
+        assert len(sim.trace.select("comp")) == 2
+        assert len(sim.trace.select(None, "ev1")) == 2
+        assert len(sim.trace.select("comp", "ev1", x=1)) == 1
+        assert len(sim.trace.select("comp", "ev1", x=999)) == 0
+
+    def test_contains_sequence(self, env):
+        sim, net, a, b = env
+        for ev in ("alpha", "beta", "gamma"):
+            sim.trace.log("c", ev)
+        assert sim.trace.contains_sequence("alpha", "gamma",
+                                           component="c")
+        assert not sim.trace.contains_sequence("gamma", "alpha",
+                                               component="c")
+
+    def test_subscribe(self, env):
+        sim, net, a, b = env
+        seen = []
+        sim.trace.subscribe(lambda rec: seen.append(rec.event))
+        sim.trace.log("c", "hello")
+        assert seen == ["hello"]
+
+    def test_disabled_trace_records_nothing(self):
+        sim = Simulator()
+        sim.trace.enabled = False
+        sim.trace.log("c", "ev")
+        assert sim.trace.records == []
+
+    def test_dump_format(self, env):
+        sim, net, a, b = env
+        sim.trace.log("comp", "boom", why="because")
+        text = sim.trace.dump()
+        assert "comp" in text and "boom" in text and "why=because" in text
