@@ -65,6 +65,18 @@ def test_fig1_gram_execution_path(benchmark, report):
                  steps, order=["t(s)", "component", "event"])
     assert [s["event"] for s in steps][0].startswith("user request")
 
+    # The same run through the metrics registry: incremental counters/
+    # histograms, exported as the JSON snapshot the harness consumes.
+    reg = tb.sim.metrics
+    assert reg.counter("gridmanager.submits").value == 1
+    assert reg.histogram("gridmanager.submit_latency").count == 1
+    assert reg.counter("gram.twophase_rpcs").labelled("submit") >= 1
+    assert reg.counter("gram.twophase_rpcs").labelled("commit") >= 1
+    report.metrics("FIG1: registry snapshot (submission + site metrics)",
+                   tb.sim, prefixes=["gridmanager.", "gram.",
+                                     "gatekeeper.", "jobmanager.",
+                                     "lrm."])
+
 
 def run_many():
     tb = GridTestbed(seed=102)

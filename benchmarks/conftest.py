@@ -9,6 +9,8 @@ in ``bench_output.txt``.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 
@@ -36,6 +38,22 @@ class Report:
         self.sections.append((title, lines))
 
     def note(self, title: str, text: str) -> None:
+        self.sections.append((title, text.splitlines()))
+
+    def metrics(self, title: str, sim, prefixes=None) -> None:
+        """Render a registry JSON snapshot (optionally name-filtered).
+
+        Consumes the :class:`repro.sim.stats.MetricsRegistry` JSON
+        export, so every benchmark can publish counters/gauges/
+        histograms next to its trace-derived tables.
+        """
+        snapshot = sim.metrics.snapshot()
+        metrics = snapshot["metrics"]
+        if prefixes is not None:
+            metrics = {name: entry for name, entry in metrics.items()
+                       if any(name.startswith(p) for p in prefixes)}
+        text = json.dumps({"time": snapshot["time"], "metrics": metrics},
+                          indent=2, sort_keys=True)
         self.sections.append((title, text.splitlines()))
 
 

@@ -90,6 +90,7 @@ class Schedd(Service):
         job.submit_time = self.sim.now
         self.jobs[job.job_id] = job
         self._persist(job)
+        self.sim.metrics.counter("schedd.jobs").inc(label="submitted")
         self._trace("submit", job=job.job_id, universe=job.universe,
                     owner=job.owner)
         return job.job_id
@@ -262,6 +263,7 @@ class Schedd(Service):
         if job.start_time is None:
             job.start_time = self.sim.now
         self._persist(job)
+        self.sim.metrics.gauge("schedd.running").inc()
         self._trace("job_running", job=job.job_id, startd=startd_name)
         return True
 
@@ -271,6 +273,9 @@ class Schedd(Service):
         shadow = self.shadows.pop(job_id, None)
         if job is None:
             return
+        if job.state == RUNNING:
+            self.sim.metrics.gauge("schedd.running").dec()
+        self.sim.metrics.counter("schedd.jobs").inc(label="completed")
         job.state = COMPLETED
         job.end_time = self.sim.now
         job.exit_code = code
@@ -289,6 +294,9 @@ class Schedd(Service):
         shadow = self.shadows.pop(job_id, None)
         if job is None or job.state in (COMPLETED, REMOVED):
             return
+        if job.state == RUNNING:
+            self.sim.metrics.gauge("schedd.running").dec()
+        self.sim.metrics.counter("schedd.jobs").inc(label="vacated")
         job.restarts += 1
         if job.universe == "standard":
             job.progress = max(job.progress, checkpoint)

@@ -168,6 +168,8 @@ class Startd(Service):
         if self.state != CLAIMED or self.claimed_by is None:
             return False
         self.state = BUSY
+        self.sim.metrics.gauge("startd.busy_slots").inc()
+        self.sim.metrics.counter("startd.jobs_run").inc()
         desc = dict(self.claimed_by)
         desc.update(jobdesc)
         self.current_job_id = desc.get("job_id", "")
@@ -189,6 +191,8 @@ class Startd(Service):
         return False
 
     def _release(self) -> None:
+        if self.state == BUSY:
+            self.sim.metrics.gauge("startd.busy_slots").dec()
         self.state = UNCLAIMED
         self.claimed_by = None
         self._starter = None

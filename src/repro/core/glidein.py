@@ -86,6 +86,7 @@ class GlideInManager:
             job_id = self.scheduler.submit(request, resource=spec.site)
             job_ids.append(job_id)
         self.submitted.extend(job_ids)
+        self.sim.metrics.counter("glidein.submitted").inc(spec.count)
         self.sim.trace.log("glidein", "submitted", site=spec.site,
                            count=spec.count)
         return job_ids
@@ -106,6 +107,7 @@ class GlideInManager:
     # -- the bootstrap program ----------------------------------------------------
     def _bootstrap_program(self, spec: GlideInSpec, n: int):
         manager = self
+        submitted_at = self.sim.now
 
         def bootstrap(ctx):
             """Runs inside the remote allocation (an LRM job body)."""
@@ -144,6 +146,9 @@ class GlideInManager:
             )
             startd.ADVERTISE_INTERVAL = 15.0
             manager.live_startds.append(startd)
+            ctx.sim.metrics.gauge("glidein.live").inc()
+            ctx.sim.metrics.histogram("glidein.binding_delay").observe(
+                ctx.sim.now - submitted_at)
             ctx.sim.trace.log("glidein", "startd_up", name=name,
                               site=ctx.host.site)
             try:
@@ -159,13 +164,17 @@ class GlideInManager:
         return bootstrap
 
     def _teardown_startd(self, startd: Startd) -> None:
-        if startd.state == "Busy" and startd.current_job_id:
-            # close the sandbox's trace interval: the job it was running
-            # died with the allocation (shadow lease will requeue it)
-            startd.sim.trace.log(f"startd:{startd.startd_name}",
-                                 "job_vacated",
-                                 job=startd.current_job_id,
-                                 progress=0.0)
+        if startd.state == "Busy":
+            # close the sandbox's trace interval and the busy-slot gauge:
+            # the job it was running died with the allocation (the shadow
+            # lease will requeue it)
+            startd.sim.metrics.gauge("startd.busy_slots").dec()
+            startd.state = "Unclaimed"
+            if startd.current_job_id:
+                startd.sim.trace.log(f"startd:{startd.startd_name}",
+                                     "job_vacated",
+                                     job=startd.current_job_id,
+                                     progress=0.0)
         if startd.host.get_service(startd.name) is startd:
             startd.shutdown()
         for proc in startd._procs:
@@ -173,4 +182,5 @@ class GlideInManager:
                 proc.kill(cause="glidein allocation ended")
         if startd in self.live_startds:
             self.live_startds.remove(startd)
+            self.sim.metrics.gauge("glidein.live").dec()
         self.sim.trace.log("glidein", "startd_down", name=startd.startd_name)

@@ -110,6 +110,7 @@ class GridManager(Service):
             if resource is None:
                 return     # broker has no candidate yet; retry next pass
             job.resource = resource
+        attempt_start = self.sim.now
         job.state = J.SUBMITTING
         job.attempts += 1
         job.seq = f"{job.job_id}/{job.attempts}"
@@ -132,28 +133,56 @@ class GridManager(Service):
                 self._trace("gatekeeper_busy_backoff", job=job.job_id,
                             until=job.backoff_until)
                 return
-            self._submission_failed(job, exc)
+            self._submission_failed(job, exc, phase="phase1")
             return
         job.jmid = response["jmid"]
         job.contact = response["contact"]
         self.scheduler.persist(job)
         try:
             yield from self.client.commit(job.contact, job.jmid)
+        except (AuthenticationError, AuthorizationError) as exc:
+            self.scheduler.credential_problem(job, str(exc))
+            return
         except (GramClientError, RPCError) as exc:
-            self._submission_failed(job, exc)
+            # A lost commit *ACK* is indistinguishable from a lost
+            # commit: the JobManager may have received phase 2 and
+            # already be running the job, so resubmitting here would
+            # break exactly-once.  Park the job under the §4.2 probe
+            # machinery instead -- a restarted JobManager resumes from
+            # its state file (or reports the job finished), and one
+            # with no state file never ran anything, which *is* safe
+            # to resubmit (the probe path does exactly that).
+            self.sim.metrics.counter("gridmanager.submit_failures").inc(
+                label="commit")
+            job.committed = True
+            job.state = J.PENDING
+            self.scheduler.persist(job)
+            self._trace("commit_unacknowledged", job=job.job_id,
+                        jmid=job.jmid, reason=str(exc))
             return
         job.committed = True
         job.state = J.PENDING
         self.scheduler.persist(job)
+        self.sim.metrics.counter("gridmanager.submits").inc()
+        self.sim.metrics.histogram("gridmanager.submit_latency").observe(
+            self.sim.now - attempt_start)
         self._trace("submitted", job=job.job_id, jmid=job.jmid,
                     resource=job.resource)
 
-    def _submission_failed(self, job: GridJob, exc: Exception) -> None:
+    def _submission_failed(self, job: GridJob, exc: Exception,
+                           phase: str = "phase1") -> None:
         if isinstance(exc, (AuthenticationError, AuthorizationError)):
             self.scheduler.credential_problem(job, str(exc))
             return
-        self._remote_failure(job, f"local scheduler submission failed: "
-                                  f"{exc}")
+        self.sim.metrics.counter("gridmanager.submit_failures").inc(
+            label=phase)
+        # Keep the real reason (e.g. "commit of jm-3 failed after 8
+        # attempts"): a generic "local scheduler submission failed" prefix
+        # would mask the cause in the userlog and make the transient
+        # classification depend on the mask instead of the failure.  Any
+        # failure of the submission exchange itself is infrastructure,
+        # never the application, so it is transient by construction.
+        self._remote_failure(job, str(exc), transient=True)
 
     # -- callbacks ------------------------------------------------------------
     def handle_gram_callback(self, ctx, jmid: str, state: str,
@@ -194,12 +223,15 @@ class GridManager(Service):
         elif state == "FAILED":
             self._remote_failure(job, failure_reason)
 
-    def _remote_failure(self, job: GridJob, reason: str) -> None:
+    def _remote_failure(self, job: GridJob, reason: str,
+                        transient: Optional[bool] = None) -> None:
         if job.is_terminal:
             return
         self.scheduler.log(job, "remote_failure", reason=reason,
                            attempt=job.attempts)
-        if _is_transient(reason) and job.attempts < job.max_attempts:
+        if transient is None:
+            transient = _is_transient(reason)
+        if transient and job.attempts < job.max_attempts:
             # Resubmit: new logical attempt, broker may pick a new site.
             job.state = J.UNSUBMITTED
             job.jmid = ""
@@ -208,6 +240,7 @@ class GridManager(Service):
             if self.scheduler.broker is not None:
                 job.resource = ""
             self.scheduler.persist(job)
+            self.sim.metrics.counter("gridmanager.resubmits").inc()
             self._trace("resubmit", job=job.job_id, reason=reason)
             self.kick()
         else:
@@ -226,8 +259,16 @@ class GridManager(Service):
                 try:
                     status = yield from self.client.status(job.contact,
                                                            job.jmid)
-                except (RPCError, AuthenticationError):
-                    continue    # probe loop owns failure handling
+                except AuthenticationError as exc:
+                    # An expired/bad proxy discovered while polling gets
+                    # the same §5 hold-and-notify treatment as one
+                    # discovered while probing.
+                    self.sim.metrics.counter(
+                        "gridmanager.poll_credential_errors").inc()
+                    self.scheduler.credential_problem(job, str(exc))
+                    continue
+                except RPCError:
+                    continue    # probe loop owns liveness handling
                 self._apply_remote_state(
                     job, status["state"], status.get("failure_reason", ""),
                     status.get("exit_code"))
@@ -245,22 +286,27 @@ class GridManager(Service):
                 yield from self._probe_job(job)
 
     def _probe_job(self, job: GridJob):
+        outcomes = self.sim.metrics.counter("gridmanager.probe_outcomes")
         try:
             yield from self.client.probe_jobmanager(job.contact, job.jmid)
+            outcomes.inc(label="alive")
             return    # alive
         except RPCTimeout:
             pass
         except AuthenticationError as exc:
+            outcomes.inc(label="credential")
             self.scheduler.credential_problem(job, str(exc))
             return
         except RPCError:
             pass
+        outcomes.inc(label="silent")
         self._trace("jobmanager_silent", job=job.job_id, jmid=job.jmid)
         try:
             yield from self.client.ping_gatekeeper(job.contact)
         except (RPCError, AuthenticationError):
             # Machine crash or network failure: indistinguishable (§4.2).
             # Keep the job and retry on the next probe round.
+            outcomes.inc(label="unreachable")
             self._trace("resource_unreachable", job=job.job_id,
                         contact=job.contact)
             return
@@ -268,14 +314,17 @@ class GridManager(Service):
         yield from self._restart_jobmanager(job)
 
     def _restart_jobmanager(self, job: GridJob):
+        outcomes = self.sim.metrics.counter("gridmanager.probe_outcomes")
         try:
             yield from self.client.restart_jobmanager(job.contact, job.jmid)
+            outcomes.inc(label="restarted")
             self._trace("jobmanager_restarted", job=job.job_id,
                         jmid=job.jmid)
         except RPCTimeout:
             return    # lost it again; next probe round retries
         except RPCError as exc:
             # No state file: the JobManager never survived to persist.
+            outcomes.inc(label="restart_failed")
             self._remote_failure(job, f"jobmanager crashed: {exc}")
             return
         # Point the revived JobManager's streaming at our GASS server.

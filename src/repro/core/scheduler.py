@@ -53,6 +53,8 @@ class CondorGScheduler:
     # -- persistence ----------------------------------------------------------
     def persist(self, job: GridJob) -> None:
         self._store.put(job.job_id, job.queue_record())
+        self.sim.metrics.gauge("scheduler.queue_depth").set(
+            sum(1 for j in self.jobs.values() if not j.is_terminal))
 
     def _recover_queue(self) -> None:
         for _key, record in self._store.items():
@@ -72,6 +74,7 @@ class CondorGScheduler:
         job.submit_time = self.sim.now
         self.jobs[job.job_id] = job
         self.persist(job)
+        self.sim.metrics.counter("scheduler.jobs_queued").inc()
         self.log(job, "queued", resource=resource or "(broker)")
         self._ensure_gridmanager()
         if self.gridmanager is not None:
@@ -161,6 +164,7 @@ class CondorGScheduler:
         """A GRAM operation failed authentication: hold the job."""
         if job.is_terminal:
             return
+        self.sim.metrics.counter("scheduler.credential_holds").inc()
         job.state = J.HELD
         job.hold_reason = f"credential problem: {reason}"
         self.persist(job)
@@ -173,6 +177,7 @@ class CondorGScheduler:
     # -- completion -----------------------------------------------------------
     def job_finished(self, job: GridJob) -> None:
         event = "terminate" if job.state == J.DONE else "failed"
+        self.sim.metrics.counter("scheduler.jobs_finished").inc(label=event)
         self.log(job, event, exit_code=job.exit_code,
                  reason=job.failure_reason)
         self.notifier.fire(job.job_id, event,

@@ -75,6 +75,8 @@ class Gram2Client:
             seq = self.next_seq()
         response = None
         for attempt in range(self.max_attempts):
+            self.sim.metrics.counter("gram.twophase_rpcs").inc(
+                label="submit")
             try:
                 response = yield from call(
                     self.host, gatekeeper, "gatekeeper", "submit",
@@ -95,6 +97,8 @@ class Gram2Client:
     def commit(self, contact: str, jmid: str):
         """Phase 2: release the job; retried until acknowledged."""
         for attempt in range(self.max_attempts):
+            self.sim.metrics.counter("gram.twophase_rpcs").inc(
+                label="commit")
             try:
                 yield from call(self.host, contact, f"jm:{jmid}", "commit",
                                 timeout=self.rpc_timeout,

@@ -106,6 +106,8 @@ class Gatekeeper(Service):
                     and getattr(svc, "state", "") not in GRAM_TERMINAL)
                 if live >= self.max_jobmanagers:
                     self.rejected_busy += 1
+                    self.sim.metrics.counter("gatekeeper.submits").inc(
+                        label="rejected_busy")
                     self._trace("submit_rejected_busy", seq=seq,
                                 client=ctx.caller_host, live=live)
                     raise GatekeeperBusy(
@@ -121,9 +123,12 @@ class Gatekeeper(Service):
                 owner=ctx.principal or ctx.caller_host,
                 credential=ctx.credential,
             )
+            self.sim.metrics.counter("gatekeeper.submits").inc(label="new")
             self._trace("jobmanager_created", jmid=jmid, seq=seq,
                         client=ctx.caller_host, owner=ctx.principal)
         else:
+            self.sim.metrics.counter("gatekeeper.submits").inc(
+                label="duplicate")
             self._trace("duplicate_submit", jmid=jmid, seq=seq,
                         client=ctx.caller_host)
         return {"jmid": jmid, "contact": self.host.name, "seq": seq}
@@ -155,6 +160,7 @@ class Gatekeeper(Service):
             raise KeyError(f"no state file for jobmanager {jmid}")
         JobManager(self.host, jmid, lrm_contact=self.lrm_contact,
                    credential=ctx.credential, restarted=True)
+        self.sim.metrics.counter("gatekeeper.jm_restarts").inc()
         self._trace("jobmanager_restarted", jmid=jmid)
         return {"jmid": jmid, "contact": self.host.name, "revived": True}
 

@@ -201,12 +201,16 @@ class JobManager(Service):
     # -- lifecycle -----------------------------------------------------------
     def _lifecycle(self):
         # Phase 2 wait: abort if the commit never arrives.
+        created = self.sim.now
         index, _ = yield self.sim.any_of(
             [self._committed, self.sim.timeout(self.COMMIT_WINDOW)])
         if index == 1:
+            self.sim.metrics.counter("jobmanager.commit_expired").inc()
             self._fail("commit window expired (two-phase abort)")
             self._trace("commit_timeout")
             return
+        self.sim.metrics.histogram("jobmanager.commit_wait").observe(
+            self.sim.now - created)
         self._trace("committed")
         self.state = protocol.STAGE_IN
         self._persist()
@@ -234,6 +238,7 @@ class JobManager(Service):
         spec = to_lrm_spec(self.request)
         last_error = None
         for _attempt in range(4):
+            self.sim.metrics.counter("jobmanager.lrm_submit_rpcs").inc()
             try:
                 self.local_id = yield from call(
                     self.host, self.lrm_contact, "lrm", "submit",
@@ -287,6 +292,8 @@ class JobManager(Service):
                 self.failure_reason = view.get("failure_reason", "")
                 self.exit_code = view.get("exit_code")
                 self._persist()
+                self.sim.metrics.counter("jobmanager.state_changes").inc(
+                    label=new_state)
                 self._trace("state", state=new_state)
                 yield from self._notify_client()
             yield from self._pump_stdout()

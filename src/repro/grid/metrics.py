@@ -12,7 +12,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from ..sim.trace import Trace, TraceRecord
+from ..sim.trace import Trace
 
 
 @dataclass
@@ -43,14 +43,16 @@ _EVENT_SETS = {
 def _lrm_intervals(trace: Trace, component_prefix: str = "lrm:",
                    job_filter: Optional[str] = None
                    ) -> list[tuple[float, float]]:
-    """(start, end) pairs of job executions from trace records."""
+    """(start, end) pairs of job executions from trace records.
+
+    Walks only the components under ``component_prefix`` via the trace's
+    per-component index rather than replaying the whole record log.
+    """
     start_event, end_events = _EVENT_SETS.get(component_prefix,
                                               _EVENT_SETS["lrm:"])
     starts: dict[tuple[str, str], float] = {}
     intervals: list[tuple[float, float]] = []
-    for rec in trace.records:
-        if not rec.component.startswith(component_prefix):
-            continue
+    for rec in trace.iter_prefix(component_prefix):
         job = rec.details.get("job", "")
         if job_filter is not None and job_filter not in str(job):
             continue
@@ -60,8 +62,8 @@ def _lrm_intervals(trace: Trace, component_prefix: str = "lrm:",
         elif rec.event in end_events and key in starts:
             intervals.append((starts.pop(key), rec.time))
     # anything still running at the end of the trace
-    if trace.records:
-        end = trace.records[-1].time
+    end = trace.end_time()
+    if end is not None:
         for t0 in starts.values():
             intervals.append((t0, end))
     return intervals
@@ -89,14 +91,48 @@ def concurrency(trace: Trace, component_prefix: str = "lrm:",
         last_t = t
     first = min(s for s, _ in intervals)
     last = max(e for _, e in intervals)
-    span = max(last - first, 1e-12)
+    # Same definition as ConcurrencyStats.span (clamped at zero): a
+    # zero-length run has an average of 0, not cpu_seconds / epsilon.
+    span = max(0.0, last - first)
     return ConcurrencyStats(
         cpu_seconds=area,
-        average_busy=area / span,
+        average_busy=area / span if span > 0 else 0.0,
         peak_busy=peak,
         first_start=first,
         last_finish=last,
     )
+
+
+def concurrency_from_snapshot(snapshot: dict,
+                              gauge: str = "lrm.busy_slots"
+                              ) -> ConcurrencyStats:
+    """Busy-CPU statistics from a metrics-registry JSON snapshot.
+
+    The busy-slot gauge integrates itself as the simulation runs, so
+    this is O(1) in the length of the run -- no trace replay.  Pass
+    ``sim.metrics.snapshot()`` (or a deserialized export of it).
+    """
+    entry = snapshot.get("metrics", {}).get(gauge)
+    if entry is None or entry.get("first_active") is None:
+        return ConcurrencyStats(0.0, 0.0, 0, 0.0, 0.0)
+    first = entry["first_active"]
+    last = entry["last_idle"] if entry["value"] == 0 and \
+        entry["last_idle"] is not None else snapshot["time"]
+    area = entry["integral"]
+    span = max(0.0, last - first)
+    return ConcurrencyStats(
+        cpu_seconds=area,
+        average_busy=area / span if span > 0 else 0.0,
+        peak_busy=int(entry["max"]),
+        first_start=first,
+        last_finish=last,
+    )
+
+
+def registry_concurrency(sim, gauge: str = "lrm.busy_slots"
+                         ) -> ConcurrencyStats:
+    """Convenience wrapper: incremental concurrency for a live simulator."""
+    return concurrency_from_snapshot(sim.metrics.snapshot(), gauge=gauge)
 
 
 def timeline(trace: Trace, bucket: float,
@@ -125,9 +161,9 @@ def timeline(trace: Trace, bucket: float,
 def queue_waits(trace: Trace, component_prefix: str = "lrm:"
                 ) -> list[float]:
     """Per-job queue wait times (from LRM 'start' records)."""
-    return [rec.details["waited"] for rec in trace.records
-            if rec.component.startswith(component_prefix)
-            and rec.event == "start" and "waited" in rec.details]
+    return [rec.details["waited"]
+            for rec in trace.iter_prefix(component_prefix)
+            if rec.event == "start" and "waited" in rec.details]
 
 
 def percentile(values: Iterable[float], q: float) -> float:

@@ -75,8 +75,10 @@ class GridTestbed:
         with_mds: bool = True,
         with_repo: bool = True,
         with_myproxy: bool = False,
+        trace_max_records: Optional[int] = None,
     ):
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed,
+                             trace_max_records=trace_max_records)
         self.net = Network(self.sim, latency=latency, jitter=jitter,
                            loss_rate=loss_rate)
         self.failures = FailureInjector(self.sim)

@@ -232,6 +232,8 @@ class LocalResourceManager(Service):
                      submit_time=self.sim.now)
         self.jobs[local_id] = job
         self.queue.append(local_id)
+        self.sim.metrics.counter("lrm.jobs").inc(label="submitted")
+        self.sim.metrics.gauge("lrm.queue_depth").inc()
         self._trace("submit", job=local_id, owner=owner,
                     cpus=spec.cpus, runtime=spec.runtime)
         self._kick()
@@ -244,6 +246,7 @@ class LocalResourceManager(Service):
         if job.state == QUEUED or job.state == PREEMPTED:
             if local_id in self.queue:
                 self.queue.remove(local_id)
+                self.sim.metrics.gauge("lrm.queue_depth").dec()
             self._finish(job, CANCELLED, reason="cancelled by user")
             return True
         proc = self.running.get(local_id)
@@ -315,6 +318,7 @@ class LocalResourceManager(Service):
         for job in ordered:
             if self.can_start(job):
                 self.queue.remove(job.local_id)
+                self.sim.metrics.gauge("lrm.queue_depth").dec()
                 self._start(job)
             elif not self.backfill():
                 break
@@ -328,6 +332,10 @@ class LocalResourceManager(Service):
         proc = self.host.spawn(self._run_body(job),
                                name=f"job:{job.local_id}")
         self.running[job.local_id] = proc
+        self.sim.metrics.counter("lrm.jobs").inc(label="started")
+        self.sim.metrics.gauge("lrm.busy_slots").inc(job.spec.cpus)
+        self.sim.metrics.histogram("lrm.queue_wait").observe(
+            self.sim.now - job.submit_time)
         self._trace("start", job=job.local_id, owner=job.owner,
                     waited=self.sim.now - job.submit_time)
 
@@ -401,6 +409,7 @@ class LocalResourceManager(Service):
         if job.spec.requeue_on_preempt:
             job.state = QUEUED
             self.queue.append(job.local_id)
+            self.sim.metrics.gauge("lrm.queue_depth").inc()
             self._kick()
         else:
             self._finish(job, PREEMPTED, reason="vacated by resource owner")
@@ -408,6 +417,7 @@ class LocalResourceManager(Service):
     def _release(self, job: LRMJob) -> None:
         self.running.pop(job.local_id, None)
         self.free_slots += job.spec.cpus
+        self.sim.metrics.gauge("lrm.busy_slots").dec(job.spec.cpus)
         self._kick()
 
     def _finish(self, job: LRMJob, state: str, reason: str = "") -> None:
@@ -415,6 +425,7 @@ class LocalResourceManager(Service):
         job.end_time = self.sim.now
         job.failure_reason = reason
         self._env_overrides.pop(job.local_id, None)
+        self.sim.metrics.counter("lrm.jobs").inc(label=state.lower())
         self._trace("finish", job=job.local_id, state=state, reason=reason)
 
     # -- preemption (used by the Condor-pool flavor) ----------------------------

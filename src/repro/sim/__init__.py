@@ -27,14 +27,16 @@ from .kernel import AllOf, AnyOf, Event, Process, Simulator, Timeout
 from .network import Datagram, Mailbox, Network
 from .rng import RngRegistry
 from .rpc import CallContext, Service, call, notify
+from .stats import Counter, Gauge, Histogram, MetricsRegistry
 from .sync import Lock, Semaphore, Store
 from .trace import Trace, TraceRecord
 
 __all__ = [
     "AllOf", "AnyOf", "AuthenticationError", "AuthorizationError",
-    "CallContext", "Datagram", "Event", "FailureInjector", "Host",
-    "HostDown", "Interrupt", "Mailbox", "Network", "Process",
-    "ProcessKilled", "RemoteError", "RngRegistry", "RPCError", "RPCTimeout",
+    "CallContext", "Counter", "Datagram", "Event", "FailureInjector",
+    "Gauge", "Histogram", "Host", "HostDown", "Interrupt", "Mailbox",
+    "MetricsRegistry", "Network", "Process", "ProcessKilled",
+    "RemoteError", "RngRegistry", "RPCError", "RPCTimeout",
     "Lock", "Semaphore", "Service", "ServiceUnavailable",
     "SimulationError", "Simulator", "StableNamespace", "StableStorage",
     "Store", "Timeout", "Trace", "TraceRecord", "call", "notify",

@@ -99,9 +99,32 @@ class Event:
         Cancelled events are skipped when popped from the heap, so they no
         longer hold the simulation clock open.  Cancelling a triggered
         event is a no-op.
+
+        Cancelling an event that a :class:`Process` is currently blocked
+        on would strand that process forever (its resume callback is
+        dropped without ever firing): in strict mode that raises
+        :class:`SimulationError` at the cancel site; otherwise it is
+        surfaced as a ``kernel/stranded_waiters`` trace record and
+        metric so the leak is observable.
         """
-        if not self.triggered:
-            self._cancelled = True
+        if self.triggered:
+            return
+        stranded = [
+            cb.__self__ for cb in self.callbacks
+            if getattr(cb, "__func__", None) is Process._resume
+            and cb.__self__._alive and cb.__self__._target is self
+        ]
+        if stranded:
+            names = ", ".join(p.name for p in stranded)
+            if self.sim.strict:
+                raise SimulationError(
+                    f"cancel() on event {self.name or hex(id(self))} "
+                    f"strands waiting process(es): {names}")
+            self.sim.trace.log("kernel", "stranded_waiters",
+                               cancelled=self.name, processes=names)
+            self.sim.metrics.counter("kernel.stranded_waiters").inc(
+                len(stranded))
+        self._cancelled = True
 
     def _run_callbacks(self) -> None:
         if self._cancelled:
@@ -113,7 +136,7 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "triggered" if self.triggered else "pending"
-        return f"<{type(self).__name__} {self.name or id(self):x} {state}>"
+        return f"<{type(self).__name__} {self.name or hex(id(self))} {state}>"
 
 
 class Timeout(Event):
@@ -386,8 +409,10 @@ class Simulator:
         sim.run(until=3600)
     """
 
-    def __init__(self, seed: int = 0, strict: bool = True):
+    def __init__(self, seed: int = 0, strict: bool = True,
+                 trace_max_records: Optional[int] = None):
         from .rng import RngRegistry
+        from .stats import MetricsRegistry
         from .trace import Trace
 
         self.now: float = 0.0
@@ -397,7 +422,8 @@ class Simulator:
         self._failures: list[tuple[Process, BaseException]] = []
         self._forgiven: set[int] = set()
         self.rng = RngRegistry(seed)
-        self.trace = Trace(self)
+        self.trace = Trace(self, max_records=trace_max_records)
+        self.metrics = MetricsRegistry(self)
         self.hosts: dict[str, object] = {}
         self.network = None  # set by Network.__init__
 

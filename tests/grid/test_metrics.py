@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.grid.metrics import concurrency, percentile, queue_waits, \
-    timeline
+from repro import GridTestbed, JobDescription
+from repro.grid.metrics import concurrency, concurrency_from_snapshot, \
+    percentile, queue_waits, registry_concurrency, timeline
 from repro.sim import Simulator
 
 
@@ -109,6 +110,54 @@ def test_queue_waits_extraction():
         (2.0, "other", "start", {"waited": 99.0}),
     ])
     assert queue_waits(trace) == [3.5, 0.0]
+
+
+def test_zero_span_run_has_zero_average():
+    """Regression: concurrency() used max(span, 1e-12) while
+    ConcurrencyStats.span clamped at 0.0, so a zero-length run reported
+    span == 0 but an astronomically large average_busy.  Both now use
+    the same clamped-span definition."""
+    trace = make_trace([
+        (5.0, "lrm:a", "start", {"job": "j1"}),
+        (5.0, "lrm:a", "finish", {"job": "j1"}),
+    ])
+    stats = concurrency(trace)
+    assert stats.span == 0.0
+    assert stats.average_busy == 0.0
+    assert stats.cpu_seconds == 0.0
+
+
+def test_snapshot_concurrency_empty_registry():
+    stats = concurrency_from_snapshot({"time": 0.0, "metrics": {}})
+    assert stats.cpu_seconds == 0.0
+    assert stats.peak_busy == 0
+    assert stats.average_busy == 0.0
+
+
+def test_registry_concurrency_matches_trace_replay():
+    """The incremental busy-slot gauge and the O(n) trace replay must
+    describe the same run identically (1-cpu jobs)."""
+    tb = GridTestbed(seed=77)
+    tb.add_site("site", scheduler="pbs", cpus=4)
+    agent = tb.add_agent("user")
+    ids = [agent.submit(JobDescription(runtime=60.0 + 10 * i),
+                        resource="site-gk") for i in range(6)]
+    tb.sim.run(until=4000.0)
+    assert all(agent.status(j).is_complete for j in ids)
+
+    from_trace = concurrency(tb.sim.trace)
+    from_gauge = registry_concurrency(tb.sim)
+    assert from_gauge.cpu_seconds == pytest.approx(from_trace.cpu_seconds)
+    assert from_gauge.peak_busy == from_trace.peak_busy
+    assert from_gauge.first_start == pytest.approx(from_trace.first_start)
+    assert from_gauge.last_finish == pytest.approx(from_trace.last_finish)
+    assert from_gauge.average_busy == pytest.approx(from_trace.average_busy)
+    # and the snapshot round-trips through JSON untouched
+    import json
+
+    snap = json.loads(tb.sim.metrics.to_json())
+    assert concurrency_from_snapshot(snap).cpu_seconds == \
+        pytest.approx(from_trace.cpu_seconds)
 
 
 def test_percentile():
