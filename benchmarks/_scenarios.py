@@ -11,7 +11,10 @@ the paper's rows and ours are directly comparable; the *shape* claims
 from __future__ import annotations
 
 from repro import GridTestbed, JobDescription
-from repro.workloads import saturate
+from repro.grid.scenarios import three_site_grid  # shared scenario registry
+
+__all__ = ["TIME_SCALE", "CPU_SCALE", "drain", "three_site_grid",
+           "time_to_start", "makespan"]
 
 TIME_SCALE = 100.0      # 1 sim second == 100 paper-seconds
 CPU_SCALE = 10.0        # 1 slot here == 10 paper CPUs
@@ -22,19 +25,6 @@ def drain(tb: GridTestbed, done, cap: float, chunk: float = 2000.0):
     while not done() and tb.sim.now < cap:
         tb.sim.run(until=tb.sim.now + chunk)
     return tb.sim.now
-
-
-def three_site_grid(seed: int = 0, loaded: bool = True,
-                    **tb_kwargs) -> GridTestbed:
-    """One idle and two loaded sites: the broker/glidein playground."""
-    tb = GridTestbed(seed=seed, **tb_kwargs)
-    tb.add_site("alpha", scheduler="pbs", cpus=8)
-    tb.add_site("beta", scheduler="lsf", cpus=8)
-    tb.add_site("gamma", scheduler="loadleveler", cpus=8)
-    if loaded:
-        saturate(tb.sites["alpha"].lrm, jobs=24, runtime=2000.0)
-        saturate(tb.sites["beta"].lrm, jobs=12, runtime=1500.0)
-    return tb
 
 
 def time_to_start(agent, job_ids) -> list[float]:

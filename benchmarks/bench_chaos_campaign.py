@@ -1,0 +1,53 @@
+"""CHAOS-SCALE -- campaign throughput: seeds/second, single- vs
+multi-process.
+
+The chaos engine's value scales with how many ``(scenario, seed)`` cells
+it can afford to run; this benchmark measures campaign throughput for
+the inline runner and for a seed-sharded ``ProcessPoolExecutor`` pool,
+and reports the speedup.  On a multi-core box the 4-worker pool must
+beat the inline runner by >1.5x; on a single-core container the
+assertion degrades to "sharding must not corrupt results", which is
+checked unconditionally by digest comparison.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import run_campaign
+
+SCENARIOS = ("credential", "three-site")
+SEEDS = range(8)
+WORKERS = 4
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_campaign_scaling(report):
+    inline = run_campaign(scenarios=SCENARIOS, seeds=SEEDS, workers=1)
+    pooled = run_campaign(scenarios=SCENARIOS, seeds=SEEDS,
+                          workers=WORKERS)
+
+    assert inline.ok and pooled.ok
+    # Sharding must be invisible in the results: same cells, same runs.
+    assert [r.digest for r in pooled.results] == \
+        [r.digest for r in inline.results]
+
+    speedup = pooled.seeds_per_second / inline.seeds_per_second \
+        if inline.seeds_per_second else 0.0
+    rows = [
+        {"runner": "inline", "workers": 1, "runs": inline.runs,
+         "wall_s": round(inline.wall_seconds, 2),
+         "seeds_per_s": round(inline.seeds_per_second, 2)},
+        {"runner": "pool", "workers": WORKERS, "runs": pooled.runs,
+         "wall_s": round(pooled.wall_seconds, 2),
+         "seeds_per_s": round(pooled.seeds_per_second, 2)},
+    ]
+    report.table(
+        f"CHAOS-SCALE: campaign throughput "
+        f"(speedup {speedup:.2f}x on {os.cpu_count()} cpus)",
+        rows, order=["runner", "workers", "runs", "wall_s",
+                     "seeds_per_s"])
+
+    if (os.cpu_count() or 1) >= WORKERS:
+        assert speedup > 1.5, (
+            f"{WORKERS}-worker pool only {speedup:.2f}x over inline")

@@ -1,0 +1,43 @@
+"""``repro.chaos``: deterministic-simulation chaos campaigns.
+
+FoundationDB-style testing for the Condor-G reproduction: generate
+thousands of adversarial-but-survivable fault schedules from seeds
+(:mod:`.plan`), run them against registered grid scenarios in parallel
+(:mod:`.runner`), check the paper's §4 guarantees as machine-checked
+invariants (:mod:`.invariants`), audit that identical seeds produce
+bit-identical runs (:mod:`.digest`), and shrink any violating schedule
+to a minimal repro (:mod:`.shrink`).
+
+Entry point: ``python -m repro.chaos`` (see :mod:`.__main__`), or
+programmatically::
+
+    from repro.chaos import run_campaign
+    campaign = run_campaign(seeds=range(50), workers=4)
+    assert campaign.ok
+"""
+
+from .digest import first_divergence, run_digest, trace_fingerprint
+from .invariants import INVARIANTS, Violation, evaluate_invariants
+from .plan import FaultPlan, PlannedFault, fault_surface
+from .report import campaign_to_dict, campaign_to_json, format_report
+from .runner import (
+    CampaignResult,
+    DEFAULT_SCENARIOS,
+    RunResult,
+    build_and_run,
+    default_workers,
+    drive_to_quiescence,
+    run_campaign,
+    run_one,
+)
+from .shrink import shrink_plan, violation_predicate
+
+__all__ = [
+    "CampaignResult", "DEFAULT_SCENARIOS", "FaultPlan", "INVARIANTS",
+    "PlannedFault", "RunResult", "Violation", "build_and_run",
+    "campaign_to_dict", "campaign_to_json", "default_workers",
+    "drive_to_quiescence", "evaluate_invariants", "fault_surface",
+    "first_divergence", "format_report", "run_campaign", "run_digest",
+    "run_one", "shrink_plan", "trace_fingerprint",
+    "violation_predicate",
+]

@@ -1,0 +1,109 @@
+"""Canonical run digests and the determinism auditor.
+
+"Deterministic simulation" is only worth something if it is *checked*:
+:func:`run_digest` reduces a finished run to a stable SHA-256 over the
+trace, the metrics snapshot, and the terminal state of every queue, and
+:func:`audit_determinism` (see :mod:`repro.chaos.runner`) runs the same
+``(scenario, seed)`` twice and fails on any divergence.  Any wall-clock
+read, global-RNG draw, or dict-ordering dependence sneaking into the
+simulator shows up here as a digest mismatch long before it corrupts an
+experiment.
+
+Values are sanitized before hashing: anything that is not a JSON-ish
+primitive is replaced by its type name, so object ``repr``\\ s containing
+memory addresses can never leak nondeterminism into the digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..grid.testbed import GridTestbed
+
+
+def sanitize(value: Any, depth: int = 6) -> Any:
+    """Reduce `value` to deterministic JSON-serializable structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if depth <= 0:
+        return f"<{type(value).__name__}>"
+    if isinstance(value, dict):
+        return {str(k): sanitize(v, depth - 1)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(v, depth - 1) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(v) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: sanitize(getattr(value, f.name), depth - 1)
+                for f in dataclasses.fields(value)}
+    return f"<{type(value).__name__}>"
+
+
+def trace_fingerprint(tb: "GridTestbed") -> list[str]:
+    """One compact line per retained trace record, in log order."""
+    out = []
+    for rec in tb.sim.trace.records:
+        details = json.dumps(sanitize(rec.details), sort_keys=True)
+        out.append(f"{rec.time!r}|{rec.component}|{rec.event}|{details}")
+    return out
+
+
+def queue_state(tb: "GridTestbed") -> dict:
+    """Terminal queue state of every agent (and every site LRM)."""
+    agents = {}
+    for name, agent in sorted(tb.agents.items()):
+        agents[name] = {
+            job_id: {
+                "state": job.state,
+                "resource": job.resource,
+                "exit_code": job.exit_code,
+                "attempts": job.attempts,
+                "hold_reason": job.hold_reason,
+                "failure_reason": job.failure_reason,
+            }
+            for job_id, job in sorted(agent.scheduler.jobs.items())
+        }
+    sites = {}
+    for name, site in sorted(tb.sites.items()):
+        sites[name] = {
+            local_id: {"state": job.state, "owner": job.owner,
+                       "exit_code": job.exit_code}
+            for local_id, job in sorted(site.lrm.jobs.items())
+        }
+    return {"agents": agents, "sites": sites}
+
+
+def digest_parts(tb: "GridTestbed") -> dict:
+    """The three sanitized components the digest hashes."""
+    return {
+        "trace": trace_fingerprint(tb),
+        "trace_dropped": tb.sim.trace.dropped,
+        "metrics": sanitize(tb.sim.metrics.snapshot()),
+        "queues": sanitize(queue_state(tb)),
+        "time": tb.sim.now,
+    }
+
+
+def run_digest(tb: "GridTestbed") -> str:
+    """Stable SHA-256 of a finished run."""
+    blob = json.dumps(digest_parts(tb), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def first_divergence(a: list[str], b: list[str]) -> dict:
+    """Locate the first differing trace line between two fingerprints."""
+    for i, (la, lb) in enumerate(zip(a, b)):
+        if la != lb:
+            return {"index": i, "first": la, "second": lb}
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        return {"index": i,
+                "first": a[i] if i < len(a) else "<end of trace>",
+                "second": b[i] if i < len(b) else "<end of trace>"}
+    return {}

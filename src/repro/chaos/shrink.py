@@ -1,0 +1,90 @@
+"""Delta-debugging minimizer for violating fault plans.
+
+When a campaign cell violates an invariant, the raw plan usually carries
+faults that have nothing to do with the failure.  :func:`shrink_plan`
+applies ddmin over the plan's event list: repeatedly re-runs the same
+``(scenario, seed)`` with subsets of the events, keeping any smaller
+plan that still reproduces a violation, until no single event can be
+removed.  Because runs are deterministic, "still reproduces" is a pure
+function of the plan -- no flake management needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .invariants import evaluate_invariants
+from .plan import FaultPlan
+from .runner import build_and_run
+
+Predicate = Callable[[FaultPlan], bool]
+
+
+def violation_predicate(
+    scenario_name: str,
+    seed: int,
+    invariants: Optional[set[str]] = None,
+) -> Predicate:
+    """True iff replaying `plan` on ``(scenario, seed)`` still violates.
+
+    ``invariants`` restricts the check to the named invariant(s), so the
+    minimizer cannot wander off to a *different* failure mode while
+    shrinking.
+    """
+    def reproduces(plan: FaultPlan) -> bool:
+        tb, _ = build_and_run(scenario_name, seed, plan=plan)
+        found = evaluate_invariants(tb)
+        if invariants is None:
+            return bool(found)
+        return any(v.invariant in invariants for v in found)
+
+    return reproduces
+
+
+def shrink_events(events: list, reproduces: Predicate,
+                  max_runs: int = 200) -> tuple[list, int]:
+    """ddmin over an event list; returns (minimal events, runs used)."""
+    runs = 0
+    granularity = 2
+    while len(events) >= 2 and runs < max_runs:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        start = 0
+        while start < len(events) and runs < max_runs:
+            candidate = events[:start] + events[start + chunk:]
+            runs += 1
+            if candidate and reproduces(FaultPlan(events=list(candidate))):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # restart scanning the (shorter) list
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return events, runs
+
+
+def shrink_plan(
+    scenario_name: str,
+    seed: int,
+    plan: FaultPlan,
+    invariants: Optional[set[str]] = None,
+    max_runs: int = 200,
+    reproduces: Optional[Predicate] = None,
+) -> tuple[FaultPlan, int]:
+    """Shrink `plan` to a minimal schedule that still violates.
+
+    Returns ``(minimal_plan, replay_count)``.  If the original plan does
+    not reproduce any violation, it is returned unchanged with count 1.
+    """
+    if reproduces is None:
+        reproduces = violation_predicate(scenario_name, seed, invariants)
+    if not reproduces(plan):
+        return plan, 1
+    events, runs = shrink_events(list(plan.events), reproduces,
+                                 max_runs=max_runs)
+    return FaultPlan(events=events), runs + 1

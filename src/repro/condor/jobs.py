@@ -38,6 +38,12 @@ def next_cluster_id() -> str:
     return f"{next(_ids)}.0"
 
 
+def reset_cluster_ids() -> None:
+    """Restart cluster numbering (testbed isolation helper)."""
+    global _ids
+    _ids = itertools.count(1)
+
+
 @dataclass
 class CondorJob:
     """One queue entry in a Schedd."""

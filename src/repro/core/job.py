@@ -41,6 +41,12 @@ def next_grid_job_id() -> str:
     return f"gridjob-{next(_ids)}"
 
 
+def reset_grid_job_ids() -> None:
+    """Restart job numbering (testbed isolation helper)."""
+    global _ids
+    _ids = itertools.count(1)
+
+
 @dataclass
 class GridJob:
     """One entry in the agent's persistent queue."""

@@ -150,7 +150,14 @@ class CondorGScheduler:
         released = 0
         for job in self.jobs.values():
             if job.state == J.HELD:
-                job.state = J.UNSUBMITTED
+                # A job held *mid-flight* (credential error discovered by
+                # probe/poll) still has a committed remote JobManager that
+                # may be running -- or have finished -- the job.  Release
+                # it back to PENDING so the GridManager reconnects to the
+                # same jmid; resubmitting (UNSUBMITTED) would mint a new
+                # sequence number and run the job a second time.
+                job.state = J.PENDING if (job.committed and job.jmid) \
+                    else J.UNSUBMITTED
                 job.hold_reason = ""
                 self.persist(job)
                 self.log(job, "released")

@@ -1,6 +1,14 @@
-"""Testbed builder and run metrics."""
+"""Testbed builder, run metrics, and the named scenario registry."""
 
 from .metrics import ConcurrencyStats, concurrency, queue_waits, timeline
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register,
+    scenario_names,
+    three_site_grid,
+)
 from .testbed import (
     CONDOR_BINARIES,
     GIIS_HOST,
@@ -12,6 +20,7 @@ from .testbed import (
 
 __all__ = [
     "CONDOR_BINARIES", "ConcurrencyStats", "GIIS_HOST", "GridTestbed",
-    "MYPROXY_HOST", "REPO_HOST", "Site", "concurrency", "queue_waits",
-    "timeline",
+    "MYPROXY_HOST", "REPO_HOST", "SCENARIOS", "Scenario", "Site",
+    "concurrency", "get_scenario", "queue_waits", "register",
+    "scenario_names", "three_site_grid", "timeline",
 ]

@@ -1,0 +1,157 @@
+"""Named, seed-parameterized grid scenarios.
+
+One place to describe "a grid plus a workload" so that benchmarks, the
+chaos campaign engine (:mod:`repro.chaos`), and ad-hoc experiments all
+drive the *same* testbeds.  A scenario is everything needed to rebuild a
+run from ``(name, seed)`` -- which is exactly what the multi-process
+chaos runner ships across its worker boundary instead of pickling live
+simulators.
+
+Builders must be deterministic functions of the seed: all randomness
+inside a scenario comes from the testbed's named RNG streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.api import JobDescription
+from ..workloads.synthetic import saturate
+from .testbed import GridTestbed
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A rebuildable experiment: topology + workload + chaos envelope.
+
+    ``build(seed)`` returns a :class:`GridTestbed` with agents created
+    and jobs submitted.  The remaining fields describe the window the
+    chaos engine may inject faults into (``fault_horizon``), how long to
+    keep simulating before declaring the run wedged (``cap``), which
+    fault kinds make sense here (``fault_kinds``), and how many faults a
+    generated plan may carry (``max_faults``).
+    """
+
+    name: str
+    description: str
+    build: Callable[[int], GridTestbed]
+    fault_horizon: float = 2000.0
+    cap: float = 40_000.0
+    settle: float = 500.0
+    fault_kinds: tuple[str, ...] = ("crash", "partition", "isolate",
+                                    "jm_kill")
+    max_faults: int = 4
+    chunk: float = 1000.0
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"duplicate scenario {scenario.name!r}")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") \
+            from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+# -- shared topology builders --------------------------------------------------
+
+def three_site_grid(seed: int = 0, loaded: bool = True,
+                    **tb_kwargs) -> GridTestbed:
+    """One idle and two loaded sites: the broker/glidein playground.
+
+    (Also the topology behind the benchmark suite; see
+    ``benchmarks/_scenarios.py``.)
+    """
+    tb = GridTestbed(seed=seed, **tb_kwargs)
+    tb.add_site("alpha", scheduler="pbs", cpus=8)
+    tb.add_site("beta", scheduler="lsf", cpus=8)
+    tb.add_site("gamma", scheduler="loadleveler", cpus=8)
+    if loaded:
+        saturate(tb.sites["alpha"].lrm, jobs=24, runtime=2000.0)
+        saturate(tb.sites["beta"].lrm, jobs=12, runtime=1500.0)
+    return tb
+
+
+# -- registered chaos scenarios -----------------------------------------------
+
+def _build_quickstart(seed: int) -> GridTestbed:
+    """The examples/quickstart.py grid: two GSI sites, MDS broker."""
+    tb = GridTestbed(seed=seed, use_gsi=True)
+    tb.add_site("wisc", scheduler="pbs", cpus=16)
+    tb.add_site("anl", scheduler="lsf", cpus=8)
+    agent = tb.add_agent("alice", broker_kind="mds")
+    tb.run(until=120.0)          # let MDS registrations warm up
+    for i in range(2):
+        agent.submit(JobDescription(executable="sim.exe",
+                                    runtime=300.0 + 60 * i,
+                                    input_size=20_000),
+                     resource=tb.sites["wisc"].contact)
+    for _ in range(3):
+        agent.submit(JobDescription(executable="sweep.exe", runtime=200.0))
+    return tb
+
+
+def _build_three_site(seed: int) -> GridTestbed:
+    """Three heterogeneous sites, light background load, userlist broker."""
+    tb = GridTestbed(seed=seed)
+    tb.add_site("alpha", scheduler="pbs", cpus=8)
+    tb.add_site("beta", scheduler="lsf", cpus=8)
+    tb.add_site("gamma", scheduler="loadleveler", cpus=8)
+    saturate(tb.sites["alpha"].lrm, jobs=8, runtime=600.0)
+    agent = tb.add_agent("bob", broker_kind="userlist")
+    for i in range(6):
+        agent.submit(JobDescription(executable="sweep.exe",
+                                    runtime=150.0 + 25 * i))
+    return tb
+
+
+def _build_credential(seed: int) -> GridTestbed:
+    """One GSI site, one user, long-ish jobs: the §4.3 playground."""
+    tb = GridTestbed(seed=seed, use_gsi=True)
+    tb.add_site("wisc", scheduler="pbs", cpus=4)
+    agent = tb.add_agent("carol")
+    for i in range(4):
+        agent.submit(JobDescription(runtime=300.0 + 40 * i),
+                     resource="wisc-gk")
+    return tb
+
+
+register(Scenario(
+    name="quickstart",
+    description="two GSI sites + MDS broker (examples/quickstart.py)",
+    build=_build_quickstart,
+    fault_horizon=2500.0,
+    fault_kinds=("crash", "partition", "isolate", "jm_kill",
+                 "proxy_expire"),
+))
+
+register(Scenario(
+    name="three-site",
+    description="three heterogeneous sites, userlist broker, light load",
+    build=_build_three_site,
+    fault_horizon=2500.0,
+))
+
+register(Scenario(
+    name="credential",
+    description="single GSI site; §4.3 expiry/hold/notify/refresh drills",
+    build=_build_credential,
+    fault_horizon=1500.0,
+    fault_kinds=("proxy_expire", "jm_kill", "partition"),
+    max_faults=3,
+))

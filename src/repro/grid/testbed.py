@@ -15,11 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..condor.jobs import reset_cluster_ids
 from ..core.api import CondorGAgent
 from ..core.broker import Broker, MDSBroker, QueueAwareBroker, UserListBroker
+from ..core.job import reset_grid_job_ids
 from ..gram.gatekeeper import Gatekeeper
 from ..gridftp.server import GridFTPServer
 from ..gsi.auth import GridMap, GSIAuthorizer
+from ..gsi.crypto import reset_oracle
 from ..gsi.myproxy import MyProxyServer
 from ..gsi.pki import CertificateAuthority
 from ..gsi.proxy import GridUser
@@ -77,6 +80,15 @@ class GridTestbed:
         with_myproxy: bool = False,
         trace_max_records: Optional[int] = None,
     ):
+        # Restart the module-level id counters so a testbed's ids are a
+        # pure function of its seed.  Without this, the second build of
+        # the same (scenario, seed) in one process numbers its jobs and
+        # keys from wherever the first build left off, and the
+        # determinism audit (repro.chaos.digest) flags a divergence on
+        # the very first trace record.
+        reset_grid_job_ids()
+        reset_cluster_ids()
+        reset_oracle()
         self.sim = Simulator(seed=seed,
                              trace_max_records=trace_max_records)
         self.net = Network(self.sim, latency=latency, jitter=jitter,

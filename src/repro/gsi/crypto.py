@@ -49,5 +49,12 @@ def verify(public_id: str, data: str, signature: str) -> bool:
 
 
 def reset_oracle() -> None:
-    """Forget all key pairs (test isolation helper)."""
+    """Forget all key pairs and restart key numbering.
+
+    Isolation helper: key ids otherwise keep counting across testbeds
+    built in the same process, which would make the second run of a
+    seed differ from the first.
+    """
+    global _COUNTER
     _PAIR_ORACLE.clear()
+    _COUNTER = itertools.count(1)

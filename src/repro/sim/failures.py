@@ -17,7 +17,7 @@ The four failure classes of Condor-G (§4.2) map onto:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .hosts import Host
@@ -30,6 +30,10 @@ class FailureEvent:
     kind: str
     target: str
     extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind,
+                "target": self.target, "extra": dict(self.extra)}
 
 
 class FailureInjector:
@@ -54,22 +58,41 @@ class FailureInjector:
 
     def partition_at(self, time: float, a: str, b: str,
                      heal_after: Optional[float] = None) -> None:
-        net = self.sim.network
         self.sim.schedule(max(0.0, time - self.sim.now),
                           lambda: self._partition(a, b))
         if heal_after is not None:
             self.sim.schedule(max(0.0, time + heal_after - self.sim.now),
-                              lambda: net.heal(a, b))
+                              lambda: self._heal(a, b))
 
     def isolate_at(self, time: float, host: str,
                    rejoin_after: Optional[float] = None) -> None:
-        net = self.sim.network
         self.sim.schedule(max(0.0, time - self.sim.now),
                           lambda: self._isolate(host))
         if rejoin_after is not None:
             self.sim.schedule(
                 max(0.0, time + rejoin_after - self.sim.now),
-                lambda: net.rejoin(host))
+                lambda: self._rejoin(host))
+
+    def crash_service_at(self, time: float, host: "Host",
+                         prefix: str) -> None:
+        """Kill the first service on `host` whose name matches `prefix`
+        (the ``crash_process`` failure class: one daemon, e.g. a single
+        JobManager, dies while its machine stays up)."""
+        self.sim.schedule(max(0.0, time - self.sim.now),
+                          lambda: self._crash_service(host, prefix))
+
+    def custom_at(self, time: float, kind: str, target: str,
+                  action: Callable[[], None], **extra) -> None:
+        """Schedule an arbitrary injected fault through the recording
+        internals, so higher-level fault classes (e.g. proxy expiry) show
+        up in ``self.injected`` next to crashes and partitions."""
+        def fire() -> None:
+            self.injected.append(
+                FailureEvent(self.sim.now, kind, target, dict(extra)))
+            self.sim.trace.log("failures", kind, target=target, **extra)
+            action()
+
+        self.sim.schedule(max(0.0, time - self.sim.now), fire)
 
     # -- stochastic schedules ---------------------------------------------
     def random_crashes(
@@ -87,6 +110,24 @@ class FailureInjector:
             self.crash_host_at(t, host, down_for=downtime)
             t += downtime + rng.expovariate(1.0 / mtbf)
 
+    def random_partitions(
+        self,
+        a: str,
+        b: str,
+        mtbf: float,
+        duration: float,
+        horizon: float,
+        stream: str = "failures",
+    ) -> None:
+        """Poisson partition process between two hosts: exponential(mtbf)
+        connected periods, fixed-length outages (the stochastic sibling of
+        :meth:`random_crashes`)."""
+        rng = self.sim.rng.stream(f"{stream}:{a}|{b}")
+        t = self.sim.now + rng.expovariate(1.0 / mtbf)
+        while t < horizon:
+            self.partition_at(t, a, b, heal_after=duration)
+            t += duration + rng.expovariate(1.0 / mtbf)
+
     # -- internals ------------------------------------------------------------
     def _crash(self, host: "Host") -> None:
         self.injected.append(FailureEvent(self.sim.now, "crash", host.name))
@@ -101,6 +142,29 @@ class FailureInjector:
             FailureEvent(self.sim.now, "partition", f"{a}|{b}"))
         self.sim.network.partition(a, b)
 
+    def _heal(self, a: str, b: str) -> None:
+        self.injected.append(FailureEvent(self.sim.now, "heal", f"{a}|{b}"))
+        self.sim.network.heal(a, b)
+
     def _isolate(self, host: str) -> None:
         self.injected.append(FailureEvent(self.sim.now, "isolate", host))
         self.sim.network.isolate(host)
+
+    def _rejoin(self, host: str) -> None:
+        self.injected.append(FailureEvent(self.sim.now, "rejoin", host))
+        self.sim.network.rejoin(host)
+
+    def _crash_service(self, host: "Host", prefix: str) -> None:
+        for name in sorted(host.services):
+            if name.startswith(prefix):
+                service = host.services[name]
+                self.injected.append(FailureEvent(
+                    self.sim.now, "crash_service", f"{host.name}:{name}"))
+                crash = getattr(service, "crash", None)
+                if crash is not None:
+                    crash()
+                else:  # plain service: silently drop off the network
+                    host.unregister_service(name)
+                return
+        self.injected.append(FailureEvent(
+            self.sim.now, "crash_service_miss", f"{host.name}:{prefix}"))

@@ -1,0 +1,61 @@
+"""Run digests: the determinism auditor's measuring instrument."""
+
+from repro.chaos import first_divergence, run_digest, trace_fingerprint
+from repro.chaos.digest import digest_parts, sanitize
+from repro.chaos.runner import build_and_run
+
+
+class TestSanitize:
+    def test_primitives_survive(self):
+        assert sanitize({"a": 1, "b": [2.5, None, True, "x"]}) == \
+            {"a": 1, "b": [2.5, None, True, "x"]}
+
+    def test_objects_reduced_to_type_name(self):
+        class Widget:
+            pass
+
+        out = sanitize({"w": Widget()})
+        assert out["w"] == "<Widget>"
+        # Critically: no memory address (``<Widget object at 0x...>``)
+        # may survive into the digest, or every audit would diverge.
+        assert "0x" not in out["w"]
+
+    def test_sets_become_sorted_lists(self):
+        assert sanitize({"s": {3, 1, 2}}) == {"s": ["1", "2", "3"]}
+
+
+class TestRunDigest:
+    def test_same_cell_same_digest(self):
+        tb1, _ = build_and_run("credential", 4)
+        d1 = run_digest(tb1)
+        tb2, _ = build_and_run("credential", 4)
+        assert d1 == run_digest(tb2)
+
+    def test_different_seeds_differ(self):
+        tb1, _ = build_and_run("three-site", 0)
+        tb2, _ = build_and_run("three-site", 1)
+        assert run_digest(tb1) != run_digest(tb2)
+
+    def test_digest_covers_trace_metrics_and_queues(self):
+        tb, _ = build_and_run("credential", 4)
+        parts = digest_parts(tb)
+        assert parts["trace"] and parts["metrics"] and parts["queues"]
+        assert len(parts["trace"]) == len(tb.sim.trace)
+        assert parts["trace"] == trace_fingerprint(tb)
+
+
+class TestFirstDivergence:
+    def test_reports_first_differing_record(self):
+        a = ["r0", "r1", "r2"]
+        b = ["r0", "XX", "r2"]
+        div = first_divergence(a, b)
+        assert div["index"] == 1
+        assert div["first"] == "r1" and div["second"] == "XX"
+
+    def test_reports_length_mismatch(self):
+        div = first_divergence(["r0"], ["r0", "r1"])
+        assert div["index"] == 1
+        assert div["second"] == "r1"
+
+    def test_identical_traces(self):
+        assert first_divergence(["r0"], ["r0"]) == {}

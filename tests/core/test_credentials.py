@@ -112,3 +112,32 @@ def test_delegated_proxy_cannot_outlive_user_proxy():
     proxy = user.proxy(now=0.0, lifetime=1000.0)
     forwarded = delegate(proxy, now=100.0, lifetime=10**9)
     assert forwarded.not_after <= proxy.not_after
+
+
+def test_midflight_hold_release_does_not_duplicate_execution():
+    """A job held *while committed and running* must reconnect on
+    release, not resubmit: resubmission would mint a new GRAM sequence
+    number and run the payload twice (see
+    CondorGScheduler.release_credential_holds)."""
+    tb = make_tb()
+    agent = tb.add_agent("alice")
+    jid = agent.submit(JobDescription(runtime=400.0), resource="wisc-gk")
+    tb.run(until=100.0)
+    job = agent.scheduler.jobs[jid]
+    assert job.state == "ACTIVE" and job.committed and job.jmid
+
+    # A probe/poll discovers a credential error mid-flight.
+    agent.scheduler.credential_problem(job, "proxy credential expired")
+    assert job.state == "HELD"
+
+    fresh = tb.users["alice"].proxy(now=tb.sim.now, lifetime=12 * 3600.0)
+    agent.refresh_proxy(fresh)
+    tb.run(until=150.0)
+    assert job.state in ("PENDING", "ACTIVE", "DONE")
+    assert job.attempts == 1      # no resubmission happened
+
+    tb.run_until_quiet(max_time=20000.0)
+    assert agent.status(jid).is_complete
+    completed = [j for j in tb.sites["wisc"].lrm.jobs.values()
+                 if j.state == "COMPLETED"]
+    assert len(completed) == 1

@@ -36,6 +36,10 @@ class TestFailureInjector:
         assert not net.reachable("a", "b")
         sim.run(until=16.0)
         assert net.reachable("a", "b")
+        # Recovery is an injected event too: post-hoc analysis needs the
+        # outage *window*, not just its start.
+        assert [(e.kind, e.target) for e in inj.injected] == \
+            [("partition", "a|b"), ("heal", "a|b")]
 
     def test_isolation(self, env):
         sim, net, a, b = env
@@ -46,6 +50,29 @@ class TestFailureInjector:
         assert not net.reachable("b", "a")
         sim.run(until=16.0)
         assert net.reachable("a", "b")
+        assert [(e.kind, e.target) for e in inj.injected] == \
+            [("isolate", "a"), ("rejoin", "a")]
+
+    def test_crash_service(self, env):
+        sim, net, a, b = env
+        inj = FailureInjector(sim)
+        inj.crash_service_at(5.0, a, "jm:")       # nothing matches
+        sim.run(until=6.0)
+        assert [e.kind for e in inj.injected] == ["crash_service_miss"]
+
+    def test_custom_event_records_and_fires(self, env):
+        sim, net, a, b = env
+        inj = FailureInjector(sim)
+        fired = []
+        inj.custom_at(7.0, "proxy_expire", "alice",
+                      lambda: fired.append(sim.now), note="drill")
+        sim.run(until=10.0)
+        assert fired == [7.0]
+        event = inj.injected[0]
+        assert (event.kind, event.target) == ("proxy_expire", "alice")
+        assert event.extra == {"note": "drill"}
+        assert sim.trace.select("failures", "proxy_expire",
+                                target="alice")
 
     def test_random_crashes_deterministic(self):
         def one_run():
@@ -61,6 +88,25 @@ class TestFailureInjector:
         first = one_run()
         assert first == one_run()
         assert any(kind == "crash" for _t, kind in first)
+
+    def test_random_partitions_deterministic(self):
+        def one_run():
+            sim = Simulator(seed=31)
+            net = Network(sim, latency=0.01, jitter=0.0)
+            Host(sim, "a")
+            Host(sim, "b")
+            inj = FailureInjector(sim)
+            inj.random_partitions("a", "b", mtbf=100.0, duration=20.0,
+                                  horizon=1000.0)
+            sim.run(until=1050.0)      # past the last possible heal
+            return net, [(e.time, e.kind) for e in inj.injected]
+
+        net, first = one_run()
+        assert first == one_run()[1]
+        kinds = [kind for _t, kind in first]
+        assert "partition" in kinds
+        assert kinds.count("partition") == kinds.count("heal")
+        assert net.reachable("a", "b")      # every outage healed
 
 
 class TestTrace:
