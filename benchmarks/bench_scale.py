@@ -1,0 +1,156 @@
+"""SCALE -- §6 at 10x: one agent, 10,000 jobs, 20 sites.
+
+The paper's largest runs kept ~650 jobs in flight; this suite pushes the
+same machinery to 10k jobs over 20 x 50-cpu sites, once down the GRAM
+path (grid universe, userlist broker) and once down the GlideIn path
+(vanilla universe on 1000 glideins).  Each cell runs twice at the same
+seed -- once with the hot-path optimizations enabled (the default) and
+once in legacy mode (``perf_mode(False)``) -- and must produce
+bit-identical :func:`repro.chaos.digest.run_digest` values: the
+optimizations are only allowed to change wall time, never behaviour.
+
+Results land in ``BENCH_scale.json`` (committed at the repo root; CI
+regenerates a downsized cell and compares against it, see
+``benchmarks/check_bench_regression.py``).
+
+Environment knobs:
+
+* ``BENCH_SCALE_CELLS`` -- comma-separated subset of cells to run
+  (default: all).  CI sets ``smoke-gram``.
+* ``BENCH_SCALE_OUT``   -- where to write the JSON (default: the
+  committed ``BENCH_scale.json`` at the repo root).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.digest import run_digest
+from repro.grid.scenarios import scale_glidein_grid, scale_gram_grid
+from repro.sim.perf import perf_mode
+from repro.states import is_terminal
+
+SEED = 706
+CAP = 60_000.0
+CHUNK = 2000.0
+
+#: name -> (builder kwargs, which queue holds the jobs)
+CELLS = {
+    "gram": (dict(jobs=10_000, n_sites=20, cpus=50), "grid"),
+    "glidein": (dict(jobs=10_000, n_sites=20, glideins_per_site=50),
+                "condor"),
+    "smoke-gram": (dict(jobs=400, n_sites=5, cpus=20), "grid"),
+}
+
+_results: dict[str, dict] = {}
+
+
+def _cells_to_run() -> list[str]:
+    raw = os.environ.get("BENCH_SCALE_CELLS", "")
+    if not raw:
+        return list(CELLS)
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def _out_path() -> Path:
+    raw = os.environ.get("BENCH_SCALE_OUT", "")
+    if raw:
+        return Path(raw)
+    return Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+
+def _build(cell: str):
+    kwargs, queue = CELLS[cell]
+    if queue == "condor":
+        return scale_glidein_grid(seed=SEED, **kwargs)
+    return scale_gram_grid(seed=SEED, **kwargs)
+
+
+def _nonterminal(tb, queue: str) -> int:
+    agent = tb.agents["scale"]
+    if queue == "condor":
+        return sum(1 for j in agent.schedd.jobs.values()
+                   if not is_terminal(j.state))
+    return sum(1 for j in agent.scheduler.jobs.values() if not j.is_terminal)
+
+
+def _run_cell(cell: str) -> dict:
+    """One timed end-to-end run of `cell`; returns wall/digest/shape."""
+    _, queue = CELLS[cell]
+    gc.collect()
+    wall0 = time.perf_counter()
+    tb = _build(cell)
+    while tb.sim.now < CAP and _nonterminal(tb, queue):
+        tb.run(until=tb.sim.now + CHUNK)
+    wall = time.perf_counter() - wall0
+    result = {
+        "wall_s": round(wall, 2),
+        "digest": run_digest(tb),
+        "sim_end": tb.sim.now,
+        "unfinished": _nonterminal(tb, queue),
+    }
+    del tb
+    gc.collect()
+    return result
+
+
+@pytest.mark.parametrize("cell", list(CELLS))
+def test_scale_cell(cell, report):
+    if cell not in _cells_to_run():
+        pytest.skip(f"cell {cell!r} not in BENCH_SCALE_CELLS")
+    kwargs, _ = CELLS[cell]
+    optimized = _run_cell(cell)
+    with perf_mode(False):
+        legacy = _run_cell(cell)
+    assert optimized["unfinished"] == 0, \
+        f"{cell}: {optimized['unfinished']} jobs unfinished at cap"
+    # Behaviour preservation is the contract: same seed, same digest.
+    assert optimized["digest"] == legacy["digest"], \
+        f"{cell}: optimized run diverged from legacy run"
+    speedup = legacy["wall_s"] / max(optimized["wall_s"], 1e-9)
+    _results[cell] = {
+        **kwargs,
+        "legacy_wall_s": legacy["wall_s"],
+        "optimized_wall_s": optimized["wall_s"],
+        "speedup": round(speedup, 2),
+        "digest_match": True,
+        "digest": optimized["digest"],
+        "sim_makespan": optimized["sim_end"],
+    }
+    report.table(f"SCALE {cell}: legacy vs optimized kernel", [{
+        "jobs": kwargs["jobs"],
+        "sites": kwargs["n_sites"],
+        "legacy wall (s)": legacy["wall_s"],
+        "optimized wall (s)": optimized["wall_s"],
+        "speedup": f"{speedup:.2f}x",
+        "digest match": "yes",
+    }])
+
+
+def test_write_results(report):
+    """Persist every measured cell (runs last: file order == run order)."""
+    if not _results:
+        pytest.skip("no scale cells ran")
+    out = _out_path()
+    cells: dict[str, dict] = {}
+    if out.exists():
+        # Partial runs (BENCH_SCALE_CELLS) refresh only their cells;
+        # the other committed cells survive.
+        try:
+            cells = json.loads(out.read_text()).get("cells", {})
+        except (json.JSONDecodeError, OSError):
+            cells = {}
+    cells.update(_results)
+    payload = {
+        "generated_by": "benchmarks/bench_scale.py",
+        "seed": SEED,
+        "cells": cells,
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report.note("SCALE results file", f"wrote {out}")

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, TYPE_CHECKING
 
+from ..states import JobState, is_terminal
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..grid.testbed import GridTestbed
 
@@ -108,7 +110,7 @@ def check_exactly_once(tb: "GridTestbed") -> list[Violation]:
     # or the completion chain is broken).
     for agent in tb.agents.values():
         for job in agent.scheduler.jobs.values():
-            if job.state == "DONE" and \
+            if job.state == JobState.DONE and \
                     not completed_by_logical.get(job.job_id):
                 out.append(Violation(
                     "exactly_once",
@@ -125,7 +127,7 @@ def check_terminal_or_held(tb: "GridTestbed") -> list[Violation]:
         for job in agent.scheduler.jobs.values():
             if job.is_terminal:
                 continue
-            if job.state == "HELD":
+            if job.state == JobState.HELD:
                 if not job.hold_reason:
                     out.append(Violation(
                         "terminal_or_held",
@@ -141,7 +143,8 @@ def check_terminal_or_held(tb: "GridTestbed") -> list[Violation]:
                  "reason": job.failure_reason or job.hold_reason}))
         if agent.schedd is not None:
             for job in agent.schedd.jobs.values():
-                if job.state not in ("COMPLETED", "REMOVED", "HELD"):
+                if not is_terminal(job.state) and \
+                        job.state != JobState.HELD:
                     out.append(Violation(
                         "terminal_or_held",
                         f"condor job {job.job_id} stuck in {job.state}",
@@ -156,7 +159,8 @@ def check_credential_hold_notify(tb: "GridTestbed") -> list[Violation]:
     for name, agent in tb.agents.items():
         credential_holds = [
             job for job in agent.scheduler.jobs.values()
-            if job.state == "HELD" and _credentialish(job.hold_reason)]
+            if job.state == JobState.HELD
+            and _credentialish(job.hold_reason)]
         if credential_holds and \
                 not agent.notifier.emails_about("credential"):
             out.append(Violation(
@@ -166,7 +170,8 @@ def check_credential_hold_notify(tb: "GridTestbed") -> list[Violation]:
                 {"agent": name,
                  "jobs": [j.job_id for j in credential_holds]}))
         for job in agent.scheduler.jobs.values():
-            if job.state == "FAILED" and _credentialish(job.failure_reason):
+            if job.state == JobState.FAILED \
+                    and _credentialish(job.failure_reason):
                 out.append(Violation(
                     "credential_hold_notify",
                     f"{job.job_id} FAILED on a credential problem "

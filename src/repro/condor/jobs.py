@@ -23,13 +23,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..classads import ClassAd
+from ..states import JobState
 
-IDLE = "IDLE"
-MATCHED = "MATCHED"
-RUNNING = "RUNNING"
-COMPLETED = "COMPLETED"
-REMOVED = "REMOVED"
-HELD = "HELD"
+# Module-level aliases: the enum members compare and serialize exactly
+# like the string literals they replace (see repro.states).
+IDLE = JobState.IDLE
+MATCHED = JobState.MATCHED
+RUNNING = JobState.RUNNING
+COMPLETED = JobState.COMPLETED
+REMOVED = JobState.REMOVED
+HELD = JobState.HELD
 
 _ids = itertools.count(1)
 

@@ -21,6 +21,7 @@ from ..gass.server import GassServer
 from ..gram.protocol import GramJobRequest
 from ..gsi.proxy import ProxyCredential
 from ..sim.hosts import Host
+from ..states import JobState, is_complete, is_terminal
 from . import job as J
 from .broker import Broker
 from .credmon import CredentialMonitor
@@ -74,11 +75,11 @@ class JobStatus:
 
     @property
     def is_complete(self) -> bool:
-        return self.state in ("DONE", "COMPLETED")
+        return is_complete(self.state)
 
     @property
     def is_terminal(self) -> bool:
-        return self.state in ("DONE", "COMPLETED", "FAILED", "REMOVED")
+        return is_terminal(self.state)
 
 
 class CondorGAgent:
@@ -263,7 +264,7 @@ class CondorGAgent:
         condor_done = True
         if self.schedd is not None:
             condor_done = all(
-                j.state in ("COMPLETED", "REMOVED", "HELD")
+                is_terminal(j.state) or j.state == JobState.HELD
                 for j in self.schedd.jobs.values())
         return grid_done and condor_done
 

@@ -31,6 +31,7 @@ from ..sim.errors import (
     RPCTimeout,
 )
 from ..sim.hosts import Host
+from ..sim.perf import PerfFlags
 from ..sim.rpc import Service
 from . import job as J
 from .job import GridJob
@@ -73,6 +74,7 @@ class GridManager(Service):
         self.client = Gram2Client(host, credential_source=credential_source)
         self.exited = False
         self._wake = self.sim.event(name=f"gm-wake:{user}")
+        self._watch_wakes: list = []   # poll/probe loops asleep while idle
         self._procs = [
             host.spawn(self._submit_loop(), name=f"gridmanager:{user}"),
             host.spawn(self._probe_loop(), name=f"gm-probe:{user}"),
@@ -88,21 +90,47 @@ class GridManager(Service):
         if not self._wake.triggered and not self._wake._scheduled:
             self._wake.succeed(None)
 
+    def notify_watchable(self) -> None:
+        """A job just became watchable: rouse idle poll/probe loops."""
+        wakes, self._watch_wakes = self._watch_wakes, []
+        for ev in wakes:
+            if not ev.triggered and not ev._scheduled:
+                ev.succeed(None)
+
     def _jobs(self) -> list[GridJob]:
         return self.scheduler.jobs_for_user(self.user)
+
+    def _submit_candidates(self) -> list[GridJob]:
+        if PerfFlags.scheduler_indexes:
+            # Snapshot of the nonterminal jobs: any job the legacy
+            # full-queue scan could find UNSUBMITTED at visit time is
+            # nonterminal at pass start (terminal states are absorbing),
+            # so filtering at visit time over this snapshot submits
+            # exactly the same jobs in the same (job_id) order.
+            return self.scheduler.nonterminal_jobs()
+        return self._jobs()
 
     # -- submission ------------------------------------------------------------
     def _submit_loop(self):
         while not self.exited:
-            for job in self._jobs():
+            for job in self._submit_candidates():
                 if job.state == J.UNSUBMITTED and \
                         self.sim.now >= job.backoff_until:
                     yield from self._submit_one(job)
             if self._check_all_done():
                 return
             self._wake = self.sim.event(name=f"gm-wake:{self.user}")
-            index, _ = yield self.sim.any_of(
-                [self._wake, self.sim.timeout(self.POLL_INTERVAL)])
+            if PerfFlags.idle_poll_sleep and \
+                    self.scheduler.unsubmitted_count() == 0:
+                # No UNSUBMITTED jobs at all: every transition into
+                # UNSUBMITTED (submit/resubmit/release) kicks the wake
+                # event, so a pure wait cannot miss work.  The interval
+                # tick only exists to notice backoff_until expiring,
+                # and backoff implies an UNSUBMITTED job.
+                yield self._wake
+            else:
+                yield self.sim.any_of(
+                    [self._wake, self.sim.timeout(self.POLL_INTERVAL)])
 
     def _submit_one(self, job: GridJob):
         if not job.resource:
@@ -134,6 +162,15 @@ class GridManager(Service):
                             until=job.backoff_until)
                 return
             self._submission_failed(job, exc, phase="phase1")
+            return
+        if job.state != J.SUBMITTING:
+            # Superseded while phase 1 was in flight: a stale failure
+            # report for an earlier attempt reclaimed the job (it is
+            # UNSUBMITTED again, or terminal).  Walk away -- the
+            # JobManager we just created is uncommitted, so it times
+            # out and cleans up site-side; committing it here would
+            # pin the job to an attempt the scheduler has disowned.
+            self._trace("submit_superseded", job=job.job_id, seq=job.seq)
             return
         job.jmid = response["jmid"]
         job.contact = response["contact"]
@@ -195,6 +232,8 @@ class GridManager(Service):
         return True
 
     def _job_by_jmid(self, jmid: str) -> Optional[GridJob]:
+        if PerfFlags.scheduler_indexes:
+            return self.scheduler.job_by_jmid(jmid)
         for job in self._jobs():
             if job.jmid == jmid:
                 return job
@@ -251,29 +290,71 @@ class GridManager(Service):
             self.scheduler.job_finished(job)
             self.kick()
 
+    # -- idle skipping -------------------------------------------------------
+    def _has_watchable(self) -> bool:
+        if PerfFlags.scheduler_indexes:
+            return self.scheduler.watchable_count() > 0
+        return bool(self._watchable_jobs())
+
+    def _idle_realign(self, interval: float):
+        """Generator: sleep while nothing is watchable, then re-tick.
+
+        The legacy poll/probe loops tick every `interval` even with
+        nothing to watch; an idle pass is invisible (no trace, no RPC,
+        no metrics), so skipping it preserves the digest *provided* the
+        next real pass lands on the same tick.  Tick times accumulate
+        as repeated ``t += interval`` float additions from the last
+        tick, so we replay exactly that accumulation and then sleep to
+        the absolute result (timeout_until: no drift through a relative
+        delay).
+        """
+        last_tick = self.sim.now
+        wake = self.sim.event(name=f"gm-watch:{self.user}")
+        self._watch_wakes.append(wake)
+        yield wake
+        tick = last_tick
+        while tick <= self.sim.now:
+            tick += interval
+        yield self.sim.timeout_until(tick)
+
     # -- polling backstop ----------------------------------------------------
     def _poll_loop(self):
         while not self.exited:
             yield self.sim.timeout(self.POLL_INTERVAL)
+            while PerfFlags.idle_poll_sleep and not self._has_watchable():
+                yield from self._idle_realign(self.POLL_INTERVAL)
             for job in self._watchable_jobs():
+                # Snapshot the attempt we are polling: the job can be
+                # resubmitted while the status RPC is in flight (a
+                # failure report for THIS attempt races with the next
+                # one), and applying a stale response to the new
+                # attempt would wreck its state machine.
+                jmid = job.jmid
+                if not jmid or job.is_terminal:
+                    continue    # mutated since the list was drawn
                 try:
                     status = yield from self.client.status(job.contact,
-                                                           job.jmid)
+                                                           jmid)
                 except AuthenticationError as exc:
                     # An expired/bad proxy discovered while polling gets
                     # the same §5 hold-and-notify treatment as one
                     # discovered while probing.
                     self.sim.metrics.counter(
                         "gridmanager.poll_credential_errors").inc()
-                    self.scheduler.credential_problem(job, str(exc))
+                    if job.jmid == jmid:
+                        self.scheduler.credential_problem(job, str(exc))
                     continue
                 except RPCError:
                     continue    # probe loop owns liveness handling
+                if job.jmid != jmid:
+                    continue    # superseded attempt: drop the response
                 self._apply_remote_state(
                     job, status["state"], status.get("failure_reason", ""),
                     status.get("exit_code"))
 
     def _watchable_jobs(self) -> list[GridJob]:
+        if PerfFlags.scheduler_indexes:
+            return self.scheduler.watchable_jobs()
         return [job for job in self._jobs()
                 if job.committed and job.jmid and not job.is_terminal
                 and job.state in (J.PENDING, J.ACTIVE)]
@@ -282,23 +363,34 @@ class GridManager(Service):
     def _probe_loop(self):
         while not self.exited:
             yield self.sim.timeout(self.PROBE_INTERVAL)
+            while PerfFlags.idle_poll_sleep and not self._has_watchable():
+                yield from self._idle_realign(self.PROBE_INTERVAL)
             for job in self._watchable_jobs():
                 yield from self._probe_job(job)
 
     def _probe_job(self, job: GridJob):
         outcomes = self.sim.metrics.counter("gridmanager.probe_outcomes")
+        # Same staleness discipline as the poll loop: every yield below
+        # can interleave with a resubmission, after which this probe is
+        # about a dead attempt and must not touch the job.
+        jmid = job.jmid
+        if not jmid or job.is_terminal:
+            return    # mutated since the probe round's list was drawn
         try:
-            yield from self.client.probe_jobmanager(job.contact, job.jmid)
+            yield from self.client.probe_jobmanager(job.contact, jmid)
             outcomes.inc(label="alive")
             return    # alive
         except RPCTimeout:
             pass
         except AuthenticationError as exc:
             outcomes.inc(label="credential")
-            self.scheduler.credential_problem(job, str(exc))
+            if job.jmid == jmid:
+                self.scheduler.credential_problem(job, str(exc))
             return
         except RPCError:
             pass
+        if job.jmid != jmid:
+            return
         outcomes.inc(label="silent")
         self._trace("jobmanager_silent", job=job.job_id, jmid=job.jmid)
         try:
@@ -310,13 +402,16 @@ class GridManager(Service):
             self._trace("resource_unreachable", job=job.job_id,
                         contact=job.contact)
             return
+        if job.jmid != jmid:
+            return
         # Gatekeeper is alive: only the JobManager died.  Restart it.
         yield from self._restart_jobmanager(job)
 
     def _restart_jobmanager(self, job: GridJob):
         outcomes = self.sim.metrics.counter("gridmanager.probe_outcomes")
+        jmid = job.jmid
         try:
-            yield from self.client.restart_jobmanager(job.contact, job.jmid)
+            yield from self.client.restart_jobmanager(job.contact, jmid)
             outcomes.inc(label="restarted")
             self._trace("jobmanager_restarted", job=job.job_id,
                         jmid=job.jmid)
@@ -325,7 +420,8 @@ class GridManager(Service):
         except RPCError as exc:
             # No state file: the JobManager never survived to persist.
             outcomes.inc(label="restart_failed")
-            self._remote_failure(job, f"jobmanager crashed: {exc}")
+            if job.jmid == jmid:
+                self._remote_failure(job, f"jobmanager crashed: {exc}")
             return
         # Point the revived JobManager's streaming at our GASS server.
         if job.request.stdout_url:
@@ -338,14 +434,20 @@ class GridManager(Service):
 
     # -- exit ---------------------------------------------------------------
     def _check_all_done(self) -> bool:
-        jobs = self._jobs()
-        if jobs and all(job.is_terminal for job in jobs):
-            self.exited = True
-            self._trace("exit", jobs=len(jobs))
-            self.shutdown()
-            for proc in self._procs:
-                if proc.alive:
-                    proc.kill(cause="gridmanager exit")
-            self.scheduler.gridmanager_exited(self.user)
-            return True
-        return False
+        if PerfFlags.scheduler_indexes:
+            if not self.scheduler.jobs or self.scheduler.nonterminal_count():
+                return False
+            n_jobs = len(self.scheduler.jobs)
+        else:
+            jobs = self._jobs()
+            if not jobs or not all(job.is_terminal for job in jobs):
+                return False
+            n_jobs = len(jobs)
+        self.exited = True
+        self._trace("exit", jobs=n_jobs)
+        self.shutdown()
+        for proc in self._procs:
+            if proc.alive:
+                proc.kill(cause="gridmanager exit")
+        self.scheduler.gridmanager_exited(self.user)
+        return True

@@ -23,14 +23,17 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from ..gram.protocol import GramJobRequest
+from ..states import JobState
 
-UNSUBMITTED = "UNSUBMITTED"
-SUBMITTING = "SUBMITTING"
-PENDING = "PENDING"
-ACTIVE = "ACTIVE"
-DONE = "DONE"
-FAILED = "FAILED"
-HELD = "HELD"
+# Module-level aliases: the enum members compare and serialize exactly
+# like the string literals they replace (see repro.states).
+UNSUBMITTED = JobState.UNSUBMITTED
+SUBMITTING = JobState.SUBMITTING
+PENDING = JobState.PENDING
+ACTIVE = JobState.ACTIVE
+DONE = JobState.DONE
+FAILED = JobState.FAILED
+HELD = JobState.HELD
 
 TERMINAL = frozenset({DONE, FAILED})
 

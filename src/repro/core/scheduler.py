@@ -12,9 +12,11 @@ GridManager reconnects to (or safely resubmits) every job -- the §4.2
 
 from __future__ import annotations
 
+import bisect
 from typing import Optional
 
 from ..sim.hosts import Host
+from ..sim.perf import PerfFlags
 from . import job as J
 from .broker import Broker
 from .gridmanager import GridManager
@@ -45,6 +47,17 @@ class CondorGScheduler:
         self.notifier = notifier or Notifier()
         self.userlog = userlog or UserLog()
         self.jobs: dict[str, GridJob] = {}
+        # Incremental views of `jobs`, refreshed by _reindex() on every
+        # persist() (every state mutation persists, so they can never go
+        # stale).  Always maintained -- the upkeep is O(1) -- but only
+        # *consulted* when PerfFlags.scheduler_indexes is on, so legacy
+        # mode still pays (and measures) the original full-queue scans.
+        self._nonterminal: set[str] = set()
+        self._unsubmitted: set[str] = set()
+        self._watchable: set[str] = set()
+        self._by_jmid: dict[str, GridJob] = {}
+        self._jmid_of: dict[str, str] = {}
+        self._sorted_jobs: list[GridJob] = []    # ascending job_id
         self._store = host.stable.namespace(f"{QUEUE_NS}:{user}")
         self.gridmanager: Optional[GridManager] = None
         if recover:
@@ -53,13 +66,53 @@ class CondorGScheduler:
     # -- persistence ----------------------------------------------------------
     def persist(self, job: GridJob) -> None:
         self._store.put(job.job_id, job.queue_record())
-        self.sim.metrics.gauge("scheduler.queue_depth").set(
-            sum(1 for j in self.jobs.values() if not j.is_terminal))
+        self._reindex(job)
+        if PerfFlags.scheduler_indexes:
+            depth = len(self._nonterminal)
+        else:
+            depth = sum(1 for j in self.jobs.values() if not j.is_terminal)
+        self.sim.metrics.gauge("scheduler.queue_depth").set(depth)
+
+    def _reindex(self, job: GridJob) -> None:
+        jid = job.job_id
+        if job.is_terminal:
+            self._nonterminal.discard(jid)
+        else:
+            self._nonterminal.add(jid)
+        if job.state == J.UNSUBMITTED:
+            self._unsubmitted.add(jid)
+        else:
+            self._unsubmitted.discard(jid)
+        watchable = bool(job.committed and job.jmid
+                         and job.state in (J.PENDING, J.ACTIVE))
+        if watchable:
+            if jid not in self._watchable:
+                self._watchable.add(jid)
+                if self.gridmanager is not None:
+                    self.gridmanager.notify_watchable()
+        else:
+            self._watchable.discard(jid)
+        old_jmid = self._jmid_of.get(jid, "")
+        if old_jmid != job.jmid:
+            if old_jmid:
+                self._by_jmid.pop(old_jmid, None)
+            if job.jmid:
+                self._by_jmid[job.jmid] = job
+            self._jmid_of[jid] = job.jmid
+
+    def _add_job(self, job: GridJob) -> None:
+        self.jobs[job.job_id] = job
+        bisect.insort(self._sorted_jobs, job, key=lambda j: j.job_id)
+        self._reindex(job)
 
     def _recover_queue(self) -> None:
         for _key, record in self._store.items():
             job = GridJob.from_record(record)
             self.jobs[job.job_id] = job
+        self._sorted_jobs = sorted(self.jobs.values(),
+                                   key=lambda j: j.job_id)
+        for job in self.jobs.values():
+            self._reindex(job)
         live = [j for j in self.jobs.values() if not j.is_terminal]
         if live:
             self.sim.trace.log("scheduler", "recovered", user=self.user,
@@ -72,7 +125,7 @@ class CondorGScheduler:
         job = GridJob(job_id=job_id or next_grid_job_id(),
                       request=request, resource=resource)
         job.submit_time = self.sim.now
-        self.jobs[job.job_id] = job
+        self._add_job(job)
         self.persist(job)
         self.sim.metrics.counter("scheduler.jobs_queued").inc()
         self.log(job, "queued", resource=resource or "(broker)")
@@ -92,6 +145,8 @@ class CondorGScheduler:
 
     # -- queries ------------------------------------------------------------
     def jobs_for_user(self, user: str) -> list[GridJob]:
+        if PerfFlags.scheduler_indexes:
+            return list(self._sorted_jobs)
         return sorted(self.jobs.values(), key=lambda j: j.job_id)
 
     def status(self, job_id: str) -> GridJob:
@@ -104,7 +159,28 @@ class CondorGScheduler:
         return out
 
     def all_terminal(self) -> bool:
+        if PerfFlags.scheduler_indexes:
+            return not self._nonterminal
         return all(j.is_terminal for j in self.jobs.values())
+
+    # O(1)/O(k) accessors for the GridManager loops (index-backed).
+    def job_by_jmid(self, jmid: str) -> Optional[GridJob]:
+        return self._by_jmid.get(jmid)
+
+    def watchable_jobs(self) -> list[GridJob]:
+        return [self.jobs[jid] for jid in sorted(self._watchable)]
+
+    def watchable_count(self) -> int:
+        return len(self._watchable)
+
+    def unsubmitted_count(self) -> int:
+        return len(self._unsubmitted)
+
+    def nonterminal_jobs(self) -> list[GridJob]:
+        return [self.jobs[jid] for jid in sorted(self._nonterminal)]
+
+    def nonterminal_count(self) -> int:
+        return len(self._nonterminal)
 
     # -- broker ---------------------------------------------------------------
     def pick_resource(self, job: GridJob):

@@ -1,0 +1,82 @@
+"""Typed, frozen testbed configuration.
+
+:class:`GridTestbed` grew three kwargs-sprawl entry points
+(``__init__`` / ``add_site`` / ``add_agent``); a topology built through
+them exists only as a sequence of imperative calls, which nothing can
+introspect, compare, or ship across a process boundary.  These dataclasses
+are the declarative replacement: a :class:`TestbedConfig` value *is* the
+topology -- hashable-by-value, seed-swappable via :meth:`with_seed`, and
+buildable with :meth:`repro.grid.testbed.GridTestbed.from_config`.
+
+The old kwargs entry points keep working through a deprecation shim that
+constructs these specs internally (see ``testbed.py``), so call sites
+migrate incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One administrative domain: gatekeeper + cluster behind it."""
+
+    name: str
+    scheduler: str = "pbs"
+    cpus: int = 16
+    arch: str = "INTEL"
+    memory: int = 512
+    allocation_cost: float = 0.0
+    register_mds: bool = True
+    mds_interval: float = 60.0
+    #: extra keyword arguments for the LRM flavor (e.g. Condor-pool knobs)
+    lrm_options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """One user's desktop agent (the user is created implicitly)."""
+
+    name: str
+    broker_kind: str = ""          # "" | "userlist" | "mds" | "queue-aware"
+    proxy_lifetime: float = 12 * 3600.0
+    myproxy: bool = False
+    personal_pool: bool = True
+    warn_threshold: float = 3600.0
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """A whole grid-in-a-box, as a value.
+
+    ``sites`` and ``agents`` are built in declaration order, matching the
+    equivalent sequence of ``add_site`` / ``add_agent`` calls;
+    ``extra_users`` adds plain users (no agent) before any agents.
+    Workload submission stays imperative -- a config describes the grid,
+    not the jobs.
+    """
+
+    seed: int = 0
+    latency: float = 0.05
+    jitter: float = 0.01
+    loss_rate: float = 0.0
+    use_gsi: bool = False
+    with_mds: bool = True
+    with_repo: bool = True
+    with_myproxy: bool = False
+    trace_max_records: Optional[int] = None
+    sites: tuple[SiteSpec, ...] = ()
+    agents: tuple[AgentSpec, ...] = ()
+    extra_users: tuple[str, ...] = ()
+
+    def with_seed(self, seed: int) -> "TestbedConfig":
+        """The same topology under a different seed (scenario builders)."""
+        return replace(self, seed=seed)
+
+    def with_sites(self, *sites: SiteSpec) -> "TestbedConfig":
+        return replace(self, sites=self.sites + sites)
+
+    def with_agents(self, *agents: AgentSpec) -> "TestbedConfig":
+        return replace(self, agents=self.agents + agents)

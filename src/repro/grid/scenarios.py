@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from ..core.api import JobDescription
 from ..workloads.synthetic import saturate
+from .config import AgentSpec, SiteSpec, TestbedConfig
 from .testbed import GridTestbed
 
 
@@ -70,6 +71,13 @@ def scenario_names() -> list[str]:
 
 # -- shared topology builders --------------------------------------------------
 
+_THREE_SITES = (
+    SiteSpec("alpha", scheduler="pbs", cpus=8),
+    SiteSpec("beta", scheduler="lsf", cpus=8),
+    SiteSpec("gamma", scheduler="loadleveler", cpus=8),
+)
+
+
 def three_site_grid(seed: int = 0, loaded: bool = True,
                     **tb_kwargs) -> GridTestbed:
     """One idle and two loaded sites: the broker/glidein playground.
@@ -77,10 +85,8 @@ def three_site_grid(seed: int = 0, loaded: bool = True,
     (Also the topology behind the benchmark suite; see
     ``benchmarks/_scenarios.py``.)
     """
-    tb = GridTestbed(seed=seed, **tb_kwargs)
-    tb.add_site("alpha", scheduler="pbs", cpus=8)
-    tb.add_site("beta", scheduler="lsf", cpus=8)
-    tb.add_site("gamma", scheduler="loadleveler", cpus=8)
+    config = TestbedConfig(seed=seed, sites=_THREE_SITES, **tb_kwargs)
+    tb = GridTestbed.from_config(config)
     if loaded:
         saturate(tb.sites["alpha"].lrm, jobs=24, runtime=2000.0)
         saturate(tb.sites["beta"].lrm, jobs=12, runtime=1500.0)
@@ -89,12 +95,18 @@ def three_site_grid(seed: int = 0, loaded: bool = True,
 
 # -- registered chaos scenarios -----------------------------------------------
 
+QUICKSTART_CONFIG = TestbedConfig(
+    use_gsi=True,
+    sites=(SiteSpec("wisc", scheduler="pbs", cpus=16),
+           SiteSpec("anl", scheduler="lsf", cpus=8)),
+    agents=(AgentSpec("alice", broker_kind="mds"),),
+)
+
+
 def _build_quickstart(seed: int) -> GridTestbed:
     """The examples/quickstart.py grid: two GSI sites, MDS broker."""
-    tb = GridTestbed(seed=seed, use_gsi=True)
-    tb.add_site("wisc", scheduler="pbs", cpus=16)
-    tb.add_site("anl", scheduler="lsf", cpus=8)
-    agent = tb.add_agent("alice", broker_kind="mds")
+    tb = GridTestbed.from_config(QUICKSTART_CONFIG, seed)
+    agent = tb.agents["alice"]
     tb.run(until=120.0)          # let MDS registrations warm up
     for i in range(2):
         agent.submit(JobDescription(executable="sim.exe",
@@ -108,26 +120,94 @@ def _build_quickstart(seed: int) -> GridTestbed:
 
 def _build_three_site(seed: int) -> GridTestbed:
     """Three heterogeneous sites, light background load, userlist broker."""
-    tb = GridTestbed(seed=seed)
-    tb.add_site("alpha", scheduler="pbs", cpus=8)
-    tb.add_site("beta", scheduler="lsf", cpus=8)
-    tb.add_site("gamma", scheduler="loadleveler", cpus=8)
+    # The background load lands *between* sites and agent (order is part
+    # of the digest), so only the sites come from the config.
+    tb = GridTestbed.from_config(TestbedConfig(sites=_THREE_SITES), seed)
     saturate(tb.sites["alpha"].lrm, jobs=8, runtime=600.0)
-    agent = tb.add_agent("bob", broker_kind="userlist")
+    agent = tb.add_agent(AgentSpec("bob", broker_kind="userlist"))
     for i in range(6):
         agent.submit(JobDescription(executable="sweep.exe",
                                     runtime=150.0 + 25 * i))
     return tb
 
 
+CREDENTIAL_CONFIG = TestbedConfig(
+    use_gsi=True,
+    sites=(SiteSpec("wisc", scheduler="pbs", cpus=4),),
+    agents=(AgentSpec("carol"),),
+)
+
+
 def _build_credential(seed: int) -> GridTestbed:
     """One GSI site, one user, long-ish jobs: the §4.3 playground."""
-    tb = GridTestbed(seed=seed, use_gsi=True)
-    tb.add_site("wisc", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("carol")
+    tb = GridTestbed.from_config(CREDENTIAL_CONFIG, seed)
+    agent = tb.agents["carol"]
     for i in range(4):
         agent.submit(JobDescription(runtime=300.0 + 40 * i),
                      resource="wisc-gk")
+    return tb
+
+
+# -- scale-out scenarios (benchmarks/bench_scale.py) ---------------------------
+
+_SCALE_SCHEDULERS = ("pbs", "lsf", "loadleveler")
+
+
+def scale_sites(n_sites: int = 20, cpus: int = 50) -> tuple[SiteSpec, ...]:
+    """A uniform fleet of `n_sites` clusters for scale-out runs."""
+    return tuple(
+        SiteSpec(f"site{i:02d}",
+                 scheduler=_SCALE_SCHEDULERS[i % len(_SCALE_SCHEDULERS)],
+                 cpus=cpus, register_mds=False)
+        for i in range(n_sites))
+
+
+def scale_gram_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
+                    cpus: int = 50) -> GridTestbed:
+    """The GRAM-path scale cell: one agent spraying `jobs` grid-universe
+    jobs round-robin over `n_sites` x `cpus` slots.
+
+    Keeps MDS/repo off and stdout streaming disabled so the event load
+    is the job-management machinery itself, not ancillary chatter.
+    """
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=False,
+        trace_max_records=200_000,
+        sites=scale_sites(n_sites, cpus),
+        agents=(AgentSpec("scale", broker_kind="userlist",
+                          personal_pool=False),),
+    )
+    tb = GridTestbed.from_config(config)
+    agent = tb.agents["scale"]
+    for i in range(jobs):
+        agent.submit(JobDescription(executable="scale.exe",
+                                    runtime=60.0 + 5.0 * (i % 40),
+                                    stream_stdout=False))
+    return tb
+
+
+def scale_glidein_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
+                       glideins_per_site: int = 50) -> GridTestbed:
+    """The GlideIn-path scale cell: a personal pool spanning `n_sites`
+    sites, `jobs` vanilla jobs matched onto the glideins.
+
+    Walltime/idle_timeout are sized so no glidein retires mid-run -- the
+    cell measures steady-state matchmaking + execution, not churn.
+    """
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=True,
+        trace_max_records=200_000,
+        sites=scale_sites(n_sites, cpus=glideins_per_site),
+        agents=(AgentSpec("scale"),),
+    )
+    tb = GridTestbed.from_config(config)
+    agent = tb.agents["scale"]
+    for site in tb.sites.values():
+        agent.glide_in(site.contact, count=glideins_per_site,
+                       walltime=100_000.0, idle_timeout=100_000.0)
+    for i in range(jobs):
+        agent.submit(JobDescription(executable="mw.exe", universe="vanilla",
+                                    runtime=60.0 + 5.0 * (i % 40)))
     return tb
 
 
@@ -154,4 +234,28 @@ register(Scenario(
     fault_horizon=1500.0,
     fault_kinds=("proxy_expire", "jm_kill", "partition"),
     max_faults=3,
+))
+
+# The scale cells are registered for the benchmark suite and for
+# explicit `--scenario scale-*` chaos runs; they are NOT in the chaos
+# engine's DEFAULT_SCENARIOS, so routine campaigns stay light.
+
+register(Scenario(
+    name="scale-gram",
+    description="10k GRAM jobs over 20 sites x 50 cpus, userlist broker",
+    build=scale_gram_grid,
+    fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+))
+
+register(Scenario(
+    name="scale-glidein",
+    description="10k vanilla jobs on 1000 glideins across 20 sites",
+    build=scale_glidein_grid,
+    fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
 ))

@@ -12,7 +12,8 @@ This is the module the examples and benchmarks drive; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 from ..condor.jobs import reset_cluster_ids
@@ -34,6 +35,7 @@ from ..sim.failures import FailureInjector
 from ..sim.hosts import Host
 from ..sim.kernel import Simulator
 from ..sim.network import Network
+from .config import AgentSpec, SiteSpec, TestbedConfig
 
 GIIS_HOST = "mds"
 REPO_HOST = "condor-repo"
@@ -62,24 +64,41 @@ class Site:
         return self.gk_host.name
 
     def queue_depth(self) -> int:
-        return self.lrm.queue_info()["queued_jobs"]
+        return self.lrm.depth()
+
+
+_SITE_FIELDS = frozenset(
+    f.name for f in fields(SiteSpec)) - {"name", "lrm_options"}
+
+_DEPRECATION = ("%s is deprecated; build a %s (repro.grid.config) and "
+                "pass it instead")
 
 
 class GridTestbed:
-    """A multi-institutional grid in a box."""
+    """A multi-institutional grid in a box.
 
-    def __init__(
-        self,
-        seed: int = 0,
-        latency: float = 0.05,
-        jitter: float = 0.01,
-        loss_rate: float = 0.0,
-        use_gsi: bool = False,
-        with_mds: bool = True,
-        with_repo: bool = True,
-        with_myproxy: bool = False,
-        trace_max_records: Optional[int] = None,
-    ):
+    Build one declaratively from a :class:`TestbedConfig`
+    (:meth:`from_config`), or imperatively through the legacy kwargs of
+    ``__init__`` / ``add_site`` / ``add_agent`` -- the kwargs forms are
+    deprecated shims that construct the equivalent spec internally.
+    """
+
+    def __init__(self, config: Optional[TestbedConfig] = None, **kwargs):
+        if config is not None:
+            if kwargs:
+                raise TypeError(
+                    "pass either a TestbedConfig or legacy kwargs, not both")
+            if not isinstance(config, TestbedConfig):
+                raise TypeError(
+                    f"expected TestbedConfig, got {type(config).__name__}")
+        else:
+            if kwargs:
+                warnings.warn(
+                    _DEPRECATION % ("GridTestbed(**kwargs)",
+                                    "TestbedConfig"),
+                    DeprecationWarning, stacklevel=2)
+            config = TestbedConfig(**kwargs)
+        self.config = config
         # Restart the module-level id counters so a testbed's ids are a
         # pure function of its seed.  Without this, the second build of
         # the same (scenario, seed) in one process numbers its jobs and
@@ -89,12 +108,13 @@ class GridTestbed:
         reset_grid_job_ids()
         reset_cluster_ids()
         reset_oracle()
-        self.sim = Simulator(seed=seed,
-                             trace_max_records=trace_max_records)
-        self.net = Network(self.sim, latency=latency, jitter=jitter,
-                           loss_rate=loss_rate)
+        self.sim = Simulator(seed=config.seed,
+                             trace_max_records=config.trace_max_records)
+        self.net = Network(self.sim, latency=config.latency,
+                           jitter=config.jitter,
+                           loss_rate=config.loss_rate)
         self.failures = FailureInjector(self.sim)
-        self.use_gsi = use_gsi
+        self.use_gsi = config.use_gsi
         self.ca = CertificateAuthority("TestGrid")
         self.sites: dict[str, Site] = {}
         self.users: dict[str, GridUser] = {}
@@ -102,31 +122,55 @@ class GridTestbed:
         self.giis: Optional[GIIS] = None
         self.repo: Optional[GridFTPServer] = None
         self.myproxy: Optional[MyProxyServer] = None
-        if with_mds:
+        if config.with_mds:
             self.giis = GIIS(Host(self.sim, GIIS_HOST))
-        if with_repo:
+        if config.with_repo:
             repo_host = Host(self.sim, REPO_HOST)
             self.repo = GridFTPServer(repo_host)
             self.repo.publish(CONDOR_BINARIES, size=5_000_000)
-        if with_myproxy:
+        if config.with_myproxy:
             self.myproxy = MyProxyServer(Host(self.sim, MYPROXY_HOST))
+        # Declarative topology: sites first (agents' brokers snapshot
+        # site contacts), then plain users, then agents.
+        for site_spec in config.sites:
+            self.add_site(site_spec)
+        for user_name in config.extra_users:
+            self.add_user(user_name)
+        for agent_spec in config.agents:
+            self.add_agent(agent_spec)
+
+    @classmethod
+    def from_config(cls, config: TestbedConfig,
+                    seed: Optional[int] = None) -> "GridTestbed":
+        """Build the grid a :class:`TestbedConfig` describes.
+
+        `seed` (if given) overrides ``config.seed``, which is how
+        scenario builders reuse one topology value across seeds.
+        """
+        if seed is not None:
+            config = config.with_seed(seed)
+        return cls(config)
 
     # -- sites ---------------------------------------------------------------
-    def add_site(
-        self,
-        name: str,
-        scheduler: str = "pbs",
-        cpus: int = 16,
-        arch: str = "INTEL",
-        memory: int = 512,
-        allocation_cost: float = 0.0,
-        register_mds: bool = True,
-        mds_interval: float = 60.0,
-        **lrm_kwargs,
-    ) -> Site:
+    def add_site(self, site, **kwargs) -> Site:
+        """Add a site from a :class:`SiteSpec` (or legacy name+kwargs)."""
+        if isinstance(site, SiteSpec):
+            if kwargs:
+                raise TypeError(
+                    "pass either a SiteSpec or legacy kwargs, not both")
+            spec = site
+        else:
+            warnings.warn(
+                _DEPRECATION % ("add_site(name, **kwargs)", "SiteSpec"),
+                DeprecationWarning, stacklevel=2)
+            known = {k: kwargs.pop(k) for k in list(kwargs)
+                     if k in _SITE_FIELDS}
+            spec = SiteSpec(name=site, lrm_options=kwargs, **known)
+        name = spec.name
         gk_host = Host(self.sim, f"{name}-gk", site=name)
         lrm_host = Host(self.sim, f"{name}-lrm", site=name)
-        lrm = make_lrm(scheduler, lrm_host, cpus, **lrm_kwargs)
+        lrm = make_lrm(spec.scheduler, lrm_host, spec.cpus,
+                       **spec.lrm_options)
         gridmap = GridMap()
         for user in self.users.values():
             gridmap.add(user.dn, f"{name}_{user.name}")
@@ -136,12 +180,12 @@ class GridTestbed:
                                 authorizer=authorizer, site=name)
         site = Site(name=name, gk_host=gk_host, lrm_host=lrm_host,
                     lrm=lrm, gatekeeper=gatekeeper, gridmap=gridmap,
-                    cpus=cpus, arch=arch, memory=memory,
-                    allocation_cost=allocation_cost)
-        if register_mds and self.giis is not None:
+                    cpus=spec.cpus, arch=spec.arch, memory=spec.memory,
+                    allocation_cost=spec.allocation_cost)
+        if spec.register_mds and self.giis is not None:
             site.registrar = ResourceRegistrar(
                 gk_host, GIIS_HOST, lambda s=site: self._site_ad(s),
-                interval=mds_interval, ttl=mds_interval * 2.5)
+                interval=spec.mds_interval, ttl=spec.mds_interval * 2.5)
         self.sites[name] = site
         return site
 
@@ -168,39 +212,47 @@ class GridTestbed:
             site.gridmap.add(user.dn, f"{site.name}_{name}")
         return user
 
-    def add_agent(
-        self,
-        name: str,
-        broker: Optional[Broker] = None,
-        broker_kind: str = "",
-        proxy_lifetime: float = 12 * 3600.0,
-        myproxy: bool = False,
-        personal_pool: bool = True,
-        warn_threshold: float = 3600.0,
-    ) -> CondorGAgent:
-        """Create a user + their desktop agent on `submit-<name>`."""
+    def add_agent(self, agent_spec, broker: Optional[Broker] = None,
+                  **kwargs) -> CondorGAgent:
+        """Create a user + their desktop agent on `submit-<name>`.
+
+        Takes an :class:`AgentSpec` (or a legacy name+kwargs).  `broker`
+        stays a runtime argument in both forms: a live Broker instance
+        is not config-value material (``AgentSpec.broker_kind`` is).
+        """
+        if isinstance(agent_spec, AgentSpec):
+            if kwargs:
+                raise TypeError(
+                    "pass either an AgentSpec or legacy kwargs, not both")
+            spec = agent_spec
+        else:
+            warnings.warn(
+                _DEPRECATION % ("add_agent(name, **kwargs)", "AgentSpec"),
+                DeprecationWarning, stacklevel=2)
+            spec = AgentSpec(name=agent_spec, **kwargs)
+        name = spec.name
         user = self.users.get(name) or self.add_user(name)
         host = Host(self.sim, f"submit-{name}")
-        proxy = user.proxy(now=self.sim.now, lifetime=proxy_lifetime) \
+        proxy = user.proxy(now=self.sim.now, lifetime=spec.proxy_lifetime) \
             if self.use_gsi else None
         myproxy_cfg = None
-        if myproxy and self.myproxy is not None and proxy is not None:
+        if spec.myproxy and self.myproxy is not None and proxy is not None:
             long_proxy = user.proxy(now=self.sim.now,
                                     lifetime=7 * 86400.0)
             self.myproxy._store[name] = (f"{name}-pass", long_proxy)
             myproxy_cfg = {"host": MYPROXY_HOST, "username": name,
                            "passphrase": f"{name}-pass",
-                           "lifetime": proxy_lifetime}
-        if broker is None and broker_kind:
-            broker = self.make_broker(broker_kind, host)
+                           "lifetime": spec.proxy_lifetime}
+        if broker is None and spec.broker_kind:
+            broker = self.make_broker(spec.broker_kind, host)
         agent = CondorGAgent(
             host, name,
             proxy=proxy,
             broker=broker,
             myproxy=myproxy_cfg,
             glidein_binaries_url=self.binaries_url,
-            personal_pool=personal_pool,
-            warn_threshold=warn_threshold,
+            personal_pool=spec.personal_pool,
+            warn_threshold=spec.warn_threshold,
         )
         # Brokers that talk to GSI-protected services need the user's
         # credential; wire it in once the credential monitor exists.

@@ -23,15 +23,18 @@ from ..sim.errors import Interrupt
 from ..sim.hosts import Host
 from ..sim.kernel import Simulator
 from ..sim.rpc import Service
+from ..states import JobState
 
 # -- job model ------------------------------------------------------------------
 
-QUEUED = "QUEUED"
-RUNNING = "RUNNING"
-COMPLETED = "COMPLETED"
-FAILED = "FAILED"
-CANCELLED = "CANCELLED"
-PREEMPTED = "PREEMPTED"
+# Module-level aliases: the enum members compare and serialize exactly
+# like the string literals they replace (see repro.states).
+QUEUED = JobState.QUEUED
+RUNNING = JobState.RUNNING
+COMPLETED = JobState.COMPLETED
+FAILED = JobState.FAILED
+CANCELLED = JobState.CANCELLED
+PREEMPTED = JobState.PREEMPTED
 
 TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
 
@@ -159,6 +162,7 @@ class LocalResourceManager(Service):
         self.free_slots = slots
         self.jobs: dict[str, LRMJob] = {}
         self.queue: list[str] = []
+        self.queued_cpus = 0                  # CPUs asked for by `queue`
         self.running: dict[str, Any] = {}     # local_id -> body Process
         self._ids = itertools.count(1)
         self._env_overrides: dict[str, dict] = {}
@@ -232,6 +236,7 @@ class LocalResourceManager(Service):
                      submit_time=self.sim.now)
         self.jobs[local_id] = job
         self.queue.append(local_id)
+        self.queued_cpus += spec.cpus
         self.sim.metrics.counter("lrm.jobs").inc(label="submitted")
         self.sim.metrics.gauge("lrm.queue_depth").inc()
         self._trace("submit", job=local_id, owner=owner,
@@ -246,6 +251,7 @@ class LocalResourceManager(Service):
         if job.state == QUEUED or job.state == PREEMPTED:
             if local_id in self.queue:
                 self.queue.remove(local_id)
+                self.queued_cpus -= job.spec.cpus
                 self.sim.metrics.gauge("lrm.queue_depth").dec()
             self._finish(job, CANCELLED, reason="cancelled by user")
             return True
@@ -254,15 +260,20 @@ class LocalResourceManager(Service):
             proc.interrupt(cause="cancel")
         return True
 
+    def depth(self) -> int:
+        """Number of queued (not yet running) jobs; O(1)."""
+        return len(self.queue)
+
     def queue_info(self) -> dict:
-        queued = [self.jobs[j] for j in self.queue]
+        # queued_cpus is maintained incrementally at every queue
+        # mutation, so probes no longer walk the queue per call.
         return {
             "flavor": self.flavor,
             "slots": self.slots,
             "free_slots": self.free_slots,
-            "queued_jobs": len(queued),
+            "queued_jobs": len(self.queue),
             "running_jobs": len(self.running),
-            "queued_cpus": sum(j.spec.cpus for j in queued),
+            "queued_cpus": self.queued_cpus,
         }
 
     def status(self, local_id: str) -> LRMJob:
@@ -318,6 +329,7 @@ class LocalResourceManager(Service):
         for job in ordered:
             if self.can_start(job):
                 self.queue.remove(job.local_id)
+                self.queued_cpus -= job.spec.cpus
                 self.sim.metrics.gauge("lrm.queue_depth").dec()
                 self._start(job)
             elif not self.backfill():
@@ -409,6 +421,7 @@ class LocalResourceManager(Service):
         if job.spec.requeue_on_preempt:
             job.state = QUEUED
             self.queue.append(job.local_id)
+            self.queued_cpus += job.spec.cpus
             self.sim.metrics.gauge("lrm.queue_depth").inc()
             self._kick()
         else:

@@ -20,10 +20,10 @@ Gatekeeper) register themselves as boot actions.
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from .errors import HostDown, SimulationError
+from .fastcopy import fast_deepcopy
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Process, Simulator
@@ -44,10 +44,10 @@ class StableStorage:
         return StableNamespace(self, ns)
 
     def put(self, ns: str, key: str, value: Any) -> None:
-        self._data.setdefault(ns, {})[key] = copy.deepcopy(value)
+        self._data.setdefault(ns, {})[key] = fast_deepcopy(value)
 
     def get(self, ns: str, key: str, default: Any = None) -> Any:
-        return copy.deepcopy(self._data.get(ns, {}).get(key, default))
+        return fast_deepcopy(self._data.get(ns, {}).get(key, default))
 
     def delete(self, ns: str, key: str) -> None:
         self._data.get(ns, {}).pop(key, None)
@@ -56,7 +56,7 @@ class StableStorage:
         return sorted(self._data.get(ns, {}).keys())
 
     def items(self, ns: str) -> list[tuple[str, Any]]:
-        return [(k, copy.deepcopy(v))
+        return [(k, fast_deepcopy(v))
                 for k, v in sorted(self._data.get(ns, {}).items())]
 
     def clear(self, ns: str) -> None:

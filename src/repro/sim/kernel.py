@@ -32,6 +32,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import Interrupt, ProcessKilled, SimulationError
+from .perf import PerfFlags
 
 _UNSET = object()
 
@@ -107,24 +108,27 @@ class Event:
         surfaced as a ``kernel/stranded_waiters`` trace record and
         metric so the leak is observable.
         """
-        if self.triggered:
+        if self.triggered or self._cancelled:
             return
-        stranded = [
-            cb.__self__ for cb in self.callbacks
-            if getattr(cb, "__func__", None) is Process._resume
-            and cb.__self__._alive and cb.__self__._target is self
-        ]
-        if stranded:
-            names = ", ".join(p.name for p in stranded)
-            if self.sim.strict:
-                raise SimulationError(
-                    f"cancel() on event {self.name or hex(id(self))} "
-                    f"strands waiting process(es): {names}")
-            self.sim.trace.log("kernel", "stranded_waiters",
-                               cancelled=self.name, processes=names)
-            self.sim.metrics.counter("kernel.stranded_waiters").inc(
-                len(stranded))
+        if self.callbacks:
+            stranded = [
+                cb.__self__ for cb in self.callbacks
+                if getattr(cb, "__func__", None) is Process._resume
+                and cb.__self__._alive and cb.__self__._target is self
+            ]
+            if stranded:
+                names = ", ".join(p.name for p in stranded)
+                if self.sim.strict:
+                    raise SimulationError(
+                        f"cancel() on event {self.name or hex(id(self))} "
+                        f"strands waiting process(es): {names}")
+                self.sim.trace.log("kernel", "stranded_waiters",
+                                   cancelled=self.name, processes=names)
+                self.sim.metrics.counter("kernel.stranded_waiters").inc(
+                    len(stranded))
         self._cancelled = True
+        if self._scheduled:
+            self.sim._note_tombstone()
 
     def _run_callbacks(self) -> None:
         if self._cancelled:
@@ -149,13 +153,22 @@ class Timeout(Event):
 
     __slots__ = ("delay", "_pending_value")
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 at: Optional[float] = None):
+        if at is not None:
+            delay = at - sim.now
         if delay < 0:
             raise ValueError(f"negative timeout {delay!r}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # Static name: formatting f"timeout({delay})" per instance was
+        # measurable on the hot path; __repr__ still shows the delay.
+        super().__init__(sim, name="timeout")
         self.delay = delay
         self._pending_value = value if value is not None else delay
-        self.sim._schedule_event(self, delay=delay)
+        sim._schedule_event(self, delay=delay, at=at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Timeout delay={self.delay} {state}>"
 
     def _run_callbacks(self) -> None:
         self._value = self._pending_value
@@ -418,6 +431,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self._tombstones = 0       # cancelled events still in the heap
         self.strict = strict
         self._failures: list[tuple[Process, BaseException]] = []
         self._forgiven: set[int] = set()
@@ -428,12 +442,34 @@ class Simulator:
         self.network = None  # set by Network.__init__
 
     # -- scheduling -------------------------------------------------------
-    def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
-        if getattr(ev, "_scheduled", False):
+    def _schedule_event(self, ev: Event, delay: float = 0.0,
+                        at: Optional[float] = None) -> None:
+        if ev._scheduled:
             return
         ev._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+        t = self.now + delay if at is None else at
+        heapq.heappush(self._heap, (t, self._seq, ev))
+
+    def _note_tombstone(self) -> None:
+        """A scheduled event was cancelled; compact once tombstones win.
+
+        Tombstones hold their ``(time, seq, event)`` triple in the heap
+        until popped; a workload that cancels most of its timers (every
+        RPC abandons its timeout) can leave the heap mostly dead.
+        Compaction filters the dead entries and re-heapifies; pop order
+        of the survivors is untouched because ordering is a pure
+        function of the (time, seq) keys.
+        """
+        self._tombstones += 1
+        if not PerfFlags.heap_compaction:
+            return
+        if self._tombstones > 256 and self._tombstones * 2 > len(self._heap):
+            # In-place: run() may hold a local alias to the heap list.
+            self._heap[:] = [entry for entry in self._heap
+                             if not entry[2]._cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run a plain callback after ``delay`` seconds."""
@@ -446,6 +482,16 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_until(self, t: float, value: Any = None) -> Timeout:
+        """A timeout firing at *absolute* simulated time ``t`` (>= now).
+
+        Unlike ``timeout(t - now)``, the fire time is exactly ``t`` with
+        no float round-trip through a relative delay; the idle-skipping
+        poll loops rely on this to keep their tick times bit-identical
+        to the always-ticking legacy loops.
+        """
+        return Timeout(self, 0.0, value, at=t)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -484,15 +530,21 @@ class Simulator:
     # -- main loop ----------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or simulated time passes ``until``."""
-        while self._heap:
-            t, _seq, ev = self._heap[0]
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            ev = entry[2]
             if ev._cancelled:
-                heapq.heappop(self._heap)
+                heappop(heap)
+                if self._tombstones > 0:
+                    self._tombstones -= 1
                 continue
+            t = entry[0]
             if until is not None and t > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
+            heappop(heap)
             self.now = t
             ev._run_callbacks()
         else:
@@ -512,6 +564,8 @@ class Simulator:
         while self._heap:
             t, _seq, ev = heapq.heappop(self._heap)
             if ev._cancelled:
+                if self._tombstones > 0:
+                    self._tombstones -= 1
                 continue
             self.now = t
             ev._run_callbacks()
@@ -521,4 +575,6 @@ class Simulator:
     def peek(self) -> Optional[float]:
         while self._heap and self._heap[0][2]._cancelled:
             heapq.heappop(self._heap)
+            if self._tombstones > 0:
+                self._tombstones -= 1
         return self._heap[0][0] if self._heap else None

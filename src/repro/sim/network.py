@@ -15,11 +15,11 @@ Anything request/response-shaped is layered on top in :mod:`repro.sim.rpc`.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from .errors import SimulationError
+from .fastcopy import fast_deepcopy
 
 if TYPE_CHECKING:  # pragma: no cover
     from .hosts import Host
@@ -131,7 +131,7 @@ class Network:
         """Fire-and-forget datagram; drops are silent (caller must timeout)."""
         self.sent += 1
         # Deep-copy models serialization: no object sharing across hosts.
-        dgram = Datagram(src.name, dst_name, service, copy.deepcopy(payload))
+        dgram = Datagram(src.name, dst_name, service, fast_deepcopy(payload))
         if not src.up:
             self.dropped += 1
             return

@@ -1,0 +1,88 @@
+"""Performance-feature flags: every hot-path optimization, toggleable.
+
+The scale-out work (see ``docs/PERFORMANCE.md``) rebuilt several hot
+paths -- lazy trace indexing, heap tombstone compaction, structural
+payload copying, scheduler state indexes, and idle-skip poll loops.
+Each one is required to be *behavior-preserving*: with the flag on or
+off, the same ``(scenario, seed)`` must produce a bit-identical
+:func:`repro.chaos.digest.run_digest`.
+
+Keeping the legacy code paths alive behind these flags is what makes
+that claim testable (``tests/sim/test_perf_equivalence.py``) and what
+lets ``benchmarks/bench_scale.py`` measure the before/after honestly in
+a single process.  Flags are process-global (class attributes) because
+the simulator is single-threaded and benchmarks flip them between whole
+runs, never mid-run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_FLAG_NAMES = (
+    "lazy_trace_index",
+    "heap_compaction",
+    "fast_copy",
+    "scheduler_indexes",
+    "idle_poll_sleep",
+)
+
+
+class PerfFlags:
+    """Global switches for the optimized hot paths (default: all on).
+
+    * ``lazy_trace_index`` -- :class:`repro.sim.trace.Trace` defers
+      building its per-component/per-event query indexes until the
+      first query instead of paying three dict updates per ``log()``.
+    * ``heap_compaction`` -- the kernel compacts cancelled-event
+      tombstones out of the event heap once they dominate it.
+    * ``fast_copy`` -- network payloads and stable-storage records are
+      copied with a structural fast path instead of ``copy.deepcopy``.
+    * ``scheduler_indexes`` -- the Condor-G scheduler maintains
+      incremental nonterminal/unsubmitted/watchable/jmid indexes so the
+      GridManager loops stop scanning the whole queue.
+    * ``idle_poll_sleep`` -- GridManager poll/probe/submit loops sleep
+      on a wake event while they have nothing to watch, instead of
+      ticking every interval; tick *phase* is preserved so active-pass
+      timing is unchanged.
+    """
+
+    lazy_trace_index: bool = True
+    heap_compaction: bool = True
+    fast_copy: bool = True
+    scheduler_indexes: bool = True
+    idle_poll_sleep: bool = True
+
+
+def set_all(enabled: bool) -> None:
+    for name in _FLAG_NAMES:
+        setattr(PerfFlags, name, enabled)
+
+
+def snapshot() -> dict:
+    return {name: getattr(PerfFlags, name) for name in _FLAG_NAMES}
+
+
+def restore(saved: dict) -> None:
+    for name, value in saved.items():
+        setattr(PerfFlags, name, value)
+
+
+@contextmanager
+def perf_mode(enabled: bool = True, **overrides: bool):
+    """Temporarily force all flags to ``enabled`` (then apply overrides).
+
+    ``with perf_mode(False):`` is "legacy mode": the pre-optimization
+    code paths, used by the equivalence tests and the before/after
+    benchmark cells.
+    """
+    saved = snapshot()
+    try:
+        set_all(enabled)
+        for name, value in overrides.items():
+            if name not in _FLAG_NAMES:
+                raise ValueError(f"unknown perf flag {name!r}")
+            setattr(PerfFlags, name, value)
+        yield PerfFlags
+    finally:
+        restore(saved)

@@ -7,9 +7,11 @@ directly against this trace, and the metrics module derives concurrency
 timelines from it.
 
 The trace is *indexed*: records are bucketed per component, per event,
-and per ``(component, event)`` pair as they arrive, so
-:meth:`Trace.select` and :meth:`Trace.contains_sequence` answer from the
-relevant bucket instead of scanning the whole run.  It can also be
+and per ``(component, event)`` pair, so :meth:`Trace.select` and
+:meth:`Trace.contains_sequence` answer from the relevant bucket instead
+of scanning the whole run.  With ``PerfFlags.lazy_trace_index`` on
+(default) the buckets are built lazily on first query rather than per
+``log()`` call, which keeps the hot logging path to a single append.  It can also be
 *bounded* (``max_records``): the oldest records are evicted ring-buffer
 style (``dropped`` counts them) while the indexes stay consistent, so
 long-running simulations hold memory constant.  Subscribers still see
@@ -24,11 +26,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional, TYPE_CHECKING
 
+from .perf import PerfFlags
+
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     time: float
     component: str
@@ -54,6 +58,10 @@ class Trace:
         self._by_key: dict[tuple[str, str], deque[TraceRecord]] = {}
         self._by_component: dict[str, deque[TraceRecord]] = {}
         self._by_event: dict[str, deque[TraceRecord]] = {}
+        # Records logged but not yet folded into the three indexes: a
+        # suffix of _records (indexing is deferred to the first query,
+        # so runs that are never queried never pay for the buckets).
+        self._pending: deque[TraceRecord] = deque()
         self._seq = 0
         self._subscribers: list[Callable[[TraceRecord], None]] = []
 
@@ -71,21 +79,39 @@ class Trace:
         self._seq += 1
         rec = TraceRecord(self.sim.now, component, event, details, self._seq)
         self._records.append(rec)
-        self._by_key.setdefault((component, event), deque()).append(rec)
-        self._by_component.setdefault(component, deque()).append(rec)
-        self._by_event.setdefault(event, deque()).append(rec)
+        if PerfFlags.lazy_trace_index:
+            self._pending.append(rec)
+        else:
+            self._index_one(rec)
         if self.max_records is not None:
             while len(self._records) > self.max_records:
                 self._evict_oldest()
         for sub in self._subscribers:
             sub(rec)
 
+    def _index_one(self, rec: TraceRecord) -> None:
+        self._by_key.setdefault((rec.component, rec.event), deque()).append(rec)
+        self._by_component.setdefault(rec.component, deque()).append(rec)
+        self._by_event.setdefault(rec.event, deque()).append(rec)
+
+    def _ensure_index(self) -> None:
+        """Fold any unindexed records into the query indexes."""
+        pending = self._pending
+        while pending:
+            self._index_one(pending.popleft())
+
     def _evict_oldest(self) -> None:
         # The globally oldest record is also the oldest entry of each of
         # its index buckets (buckets are filled in log order), so every
-        # eviction is an O(1) popleft from all four deques.
+        # eviction is an O(1) popleft from all four deques.  With lazy
+        # indexing, records still sitting in _pending (a suffix of
+        # _records) were never indexed, so when eviction catches up to
+        # them only _pending needs the popleft.
         old = self._records.popleft()
         self.dropped += 1
+        if self._pending and self._pending[0] is old:
+            self._pending.popleft()
+            return
         for index, key in (
             (self._by_key, (old.component, old.event)),
             (self._by_component, old.component),
@@ -106,6 +132,7 @@ class Trace:
         event: Optional[str] = None,
         **match: Any,
     ) -> list[TraceRecord]:
+        self._ensure_index()
         if component is not None and event is not None:
             base: Iterable[TraceRecord] = \
                 self._by_key.get((component, event), ())
@@ -123,6 +150,7 @@ class Trace:
     def events(self, component: Optional[str] = None) -> list[str]:
         """Ordered event names, optionally restricted to one component."""
         if component is not None:
+            self._ensure_index()
             return [r.event for r in self._by_component.get(component, ())]
         return [r.event for r in self._records]
 
@@ -134,6 +162,7 @@ class Trace:
 
     def components(self) -> list[str]:
         """Component names with retained records, in first-seen order."""
+        self._ensure_index()
         return list(self._by_component)
 
     def iter_prefix(self, component_prefix: str) -> Iterator[TraceRecord]:
@@ -142,6 +171,7 @@ class Trace:
         Merges the matching per-component buckets by global sequence
         number, so only components under the prefix are ever touched.
         """
+        self._ensure_index()
         matching = [bucket for comp, bucket in self._by_component.items()
                     if comp.startswith(component_prefix)]
         if not matching:
@@ -163,4 +193,5 @@ class Trace:
         self._by_key.clear()
         self._by_component.clear()
         self._by_event.clear()
+        self._pending.clear()
         self.dropped = 0

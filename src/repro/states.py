@@ -1,0 +1,80 @@
+"""The unified job-state vocabulary.
+
+Three queue layers each grew their own state strings -- the Condor-G
+grid queue (``core.job``), the Condor pool queue (``condor.jobs``), and
+the site batch systems (``lrm.base``) -- plus ad-hoc literal tuples in
+``core.api`` and ``chaos.invariants`` deciding what counts as finished.
+:class:`JobState` is the single spelling of all of them.
+
+It is a *str* enum: every member ``==`` its literal value, hashes like
+it, formats like it, JSON-serializes as it, and round-trips through
+stable storage and the network layer unchanged.  Code (and persisted
+records from older runs) carrying plain strings keeps working; the enum
+adds the shared ``is_terminal`` / ``is_complete`` vocabulary so the
+"which strings mean done?" question has one answer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class JobState(str, enum.Enum):
+    """Every job state across the grid-queue, pool, and LRM layers."""
+
+    # Condor-G grid queue (paper §4.2 state machine)
+    UNSUBMITTED = "UNSUBMITTED"
+    SUBMITTING = "SUBMITTING"
+    PENDING = "PENDING"
+    ACTIVE = "ACTIVE"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    HELD = "HELD"
+
+    # Condor pool queue (Schedd)
+    IDLE = "IDLE"
+    MATCHED = "MATCHED"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    REMOVED = "REMOVED"
+
+    # Site batch systems (LRMs)
+    QUEUED = "QUEUED"
+    CANCELLED = "CANCELLED"
+    PREEMPTED = "PREEMPTED"
+
+    # Behave exactly like the underlying string everywhere it is
+    # printed, formatted, or serialized (default Enum.__str__ would
+    # yield "JobState.DONE" and change every trace and digest).
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @property
+    def is_terminal(self) -> bool:
+        """The state is absorbing: the job will never run again."""
+        return self in TERMINAL_STATES
+
+    @property
+    def is_complete(self) -> bool:
+        """The job finished successfully (layer-appropriate spelling)."""
+        return self in COMPLETE_STATES
+
+
+#: States no job ever leaves, across all layers.
+TERMINAL_STATES = frozenset({
+    JobState.DONE, JobState.COMPLETED, JobState.FAILED,
+    JobState.REMOVED, JobState.CANCELLED,
+})
+
+#: Successful completion, across all layers.
+COMPLETE_STATES = frozenset({JobState.DONE, JobState.COMPLETED})
+
+
+def is_terminal(state: str) -> bool:
+    """`state` (enum member or plain string) is absorbing."""
+    return state in TERMINAL_STATES
+
+
+def is_complete(state: str) -> bool:
+    """`state` (enum member or plain string) is a successful finish."""
+    return state in COMPLETE_STATES

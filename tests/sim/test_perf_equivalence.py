@@ -1,0 +1,102 @@
+"""The hot-path optimizations must be invisible to the simulation.
+
+Every registered (light) scenario is run twice at the same seed -- once
+with ``PerfFlags`` all on (the default) and once in legacy mode -- and
+the two runs must produce bit-identical chaos digests: same trace, same
+metrics, same queue state, same clock.  This is the contract that lets
+the kernel change its data structures without changing the experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.digest import digest_parts, run_digest
+from repro.grid.scenarios import get_scenario
+from repro.sim.kernel import Simulator
+from repro.sim.perf import PerfFlags, perf_mode
+from repro.sim.fastcopy import fast_deepcopy
+
+LIGHT_SCENARIOS = ("quickstart", "three-site", "credential")
+
+
+def _digest(name: str, seed: int) -> str:
+    tb = get_scenario(name).build(seed)
+    tb.run(until=4000.0)
+    return run_digest(tb)
+
+
+@pytest.mark.parametrize("name", LIGHT_SCENARIOS)
+def test_optimized_matches_legacy_digest(name):
+    seed = 5
+    optimized = _digest(name, seed)
+    with perf_mode(False):
+        legacy = _digest(name, seed)
+    assert optimized == legacy
+
+
+def test_digest_parts_stable_across_modes():
+    """Not just the hash: trace, queues and metrics all line up."""
+    tb = get_scenario("three-site").build(2)
+    tb.run(until=3000.0)
+    optimized = digest_parts(tb)
+    with perf_mode(False):
+        tb = get_scenario("three-site").build(2)
+        tb.run(until=3000.0)
+        legacy = digest_parts(tb)
+    assert optimized == legacy
+
+
+# -- kernel mechanics ---------------------------------------------------------
+
+def test_cancelled_timeouts_are_compacted():
+    sim = Simulator(seed=0)
+    events = [sim.timeout(1000.0 + i) for i in range(2000)]
+    for ev in events:
+        ev.cancel()
+    # Compaction triggers once tombstones dominate the live heap.
+    sim.run(until=1.0)
+    assert len(sim._heap) < 100
+    assert sim._tombstones < 100
+
+
+def test_compaction_keeps_live_events_firing():
+    sim = Simulator(seed=0)
+    fired = []
+    for i in range(50):
+        ev = sim.timeout(10.0 + i)
+        ev.callbacks.append(lambda e, i=i: fired.append(i))
+    doomed = [sim.timeout(500.0 + i) for i in range(2000)]
+    for ev in doomed:
+        ev.cancel()
+    sim.run(until=100.0)
+    assert fired == list(range(50))
+
+
+def test_fast_deepcopy_structural_and_fallback():
+    payload = {"a": [1, 2, {"b": (3, "x")}], "c": None}
+    copied = fast_deepcopy(payload)
+    assert copied == payload
+    assert copied is not payload
+    assert copied["a"][2] is not payload["a"][2]
+
+    class Weird:
+        def __init__(self):
+            self.v = [1]
+
+    obj = {"w": Weird()}
+    copied = fast_deepcopy(obj)
+    assert copied["w"] is not obj["w"]
+    assert copied["w"].v == [1]
+
+
+def test_perf_mode_restores_flags():
+    assert PerfFlags.lazy_trace_index
+    with perf_mode(False):
+        assert not PerfFlags.lazy_trace_index
+        assert not PerfFlags.heap_compaction
+    assert PerfFlags.lazy_trace_index
+    with perf_mode(True, fast_copy=False):
+        assert not PerfFlags.fast_copy
+        assert PerfFlags.heap_compaction
+    assert PerfFlags.fast_copy
