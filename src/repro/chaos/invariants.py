@@ -60,8 +60,14 @@ def check_exactly_once(tb: "GridTestbed") -> list[Violation]:
     the logical job id) to a jmid; each JobManager's ``lrm_submit``
     record maps its jmid to the LRM job it created; the LRM's ``finish``
     records say which of those actually ran to completion.
+
+    Logical job ids are globally unique (one process-wide counter), so
+    the join is safe across agents; every violation carries the owning
+    user so multi-tenant campaigns can attribute blame.
     """
     trace = tb.sim.trace
+    owner = {jid: name for name, agent in tb.agents.items()
+             for jid in agent.scheduler.jobs}
     jm_to_logical: dict[str, str] = {}
     for event in ("jobmanager_created", "duplicate_submit"):
         for rec in trace.select(None, event):
@@ -89,7 +95,9 @@ def check_exactly_once(tb: "GridTestbed") -> list[Violation]:
                 f"LRM job {local} on {lrm} is owned by several logical "
                 f"jobs: {sorted(logicals)}",
                 {"lrm": lrm, "local": local,
-                 "logical": sorted(logicals)}))
+                 "logical": sorted(logicals),
+                 "users": sorted({owner.get(lg, "?")
+                                  for lg in logicals})}))
             continue
         done = trace.select(f"lrm:{lrm}", "finish", job=local,
                             state="COMPLETED")
@@ -103,12 +111,13 @@ def check_exactly_once(tb: "GridTestbed") -> list[Violation]:
             out.append(Violation(
                 "exactly_once",
                 f"{logical} ran to completion {len(runs)} times: {runs}",
-                {"job": logical, "executions": runs}))
+                {"job": logical, "executions": runs,
+                 "user": owner.get(logical, "?")}))
 
     # A job the agent reports DONE must have exactly one completion on
     # record (a DONE with zero executions means a completion was faked
     # or the completion chain is broken).
-    for agent in tb.agents.values():
+    for name, agent in tb.agents.items():
         for job in agent.scheduler.jobs.values():
             if job.state == JobState.DONE and \
                     not completed_by_logical.get(job.job_id):
@@ -116,7 +125,8 @@ def check_exactly_once(tb: "GridTestbed") -> list[Violation]:
                     "exactly_once",
                     f"{job.job_id} is DONE but no completed LRM "
                     "execution is on record",
-                    {"job": job.job_id, "resource": job.resource}))
+                    {"job": job.job_id, "resource": job.resource,
+                     "user": name}))
     return out
 
 
@@ -235,6 +245,42 @@ def check_conservation(tb: "GridTestbed") -> list[Violation]:
             f"and removed={removed}",
             {"terminal": terminal, "finished": finished,
              "removed": removed}))
+
+    # Per-user conservation: each tenant's labelled counters must agree
+    # with that tenant's queue, so one user's leak cannot hide inside
+    # another user's surplus in the global sums above.
+    queued_by_user = metrics.get("scheduler.user_jobs_queued")
+    finished_by_user = metrics.get("scheduler.user_jobs_finished")
+    removed_by_user: dict[str, int] = {}
+    for rec in tb.sim.trace.select("scheduler", "removed"):
+        user = str(rec.details.get("user", ""))
+        removed_by_user[user] = removed_by_user.get(user, 0) + 1
+    for name, agent in sorted(tb.agents.items()):
+        in_queue = len(agent.scheduler.jobs)
+        if queued_by_user is not None and \
+                queued_by_user.labelled(name) != in_queue:
+            out.append(Violation(
+                "conservation",
+                f"user {name}: user_jobs_queued="
+                f"{queued_by_user.labelled(name):g} but the queue holds "
+                f"{in_queue} job(s)",
+                {"user": name,
+                 "counter": queued_by_user.labelled(name),
+                 "queued": in_queue}))
+        if finished_by_user is None:
+            continue
+        user_terminal = sum(1 for job in agent.scheduler.jobs.values()
+                            if job.is_terminal)
+        user_finished = finished_by_user.labelled(name)
+        user_removed = removed_by_user.get(name, 0)
+        if user_finished + user_removed != user_terminal:
+            out.append(Violation(
+                "conservation",
+                f"user {name}: {user_terminal} terminal job(s) but "
+                f"user_jobs_finished={user_finished:g} and "
+                f"removed={user_removed}",
+                {"user": name, "terminal": user_terminal,
+                 "finished": user_finished, "removed": user_removed}))
 
     net = tb.net
     if net.delivered + net.dropped > net.sent:

@@ -96,6 +96,7 @@ class CondorGAgent:
         personal_pool: bool = True,
         negotiation_interval: float = 20.0,
         warn_threshold: float = 3600.0,
+        max_submitted_per_resource: Optional[int] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -108,7 +109,8 @@ class CondorGAgent:
         self.scheduler = CondorGScheduler(
             host, user, broker=broker,
             credential_source=None,       # wired below once credmon exists
-            notifier=self.notifier, userlog=self.userlog)
+            notifier=self.notifier, userlog=self.userlog,
+            max_submitted_per_resource=max_submitted_per_resource)
 
         if proxy is not None:
             self.credmon = CredentialMonitor(

@@ -90,7 +90,7 @@ class CredentialMonitor:
 
     def _handle_expired(self):
         held = self.scheduler.hold_for_credentials(
-            self.user, reason="proxy credential expired")
+            "proxy credential expired")
         if held:
             self.scheduler.notifier.email(
                 self.sim.now, self.email,
@@ -123,7 +123,7 @@ class CredentialMonitor:
 
     def _reforward_and_release(self):
         """Re-forward the fresh proxy to all remote JobManagers (§4.3)."""
-        for job in self.scheduler.jobs_for_user(self.user):
+        for job in self.scheduler.jobs_for_user():
             if job.committed and job.jmid and not job.is_terminal:
                 try:
                     yield from call(
@@ -134,4 +134,4 @@ class CredentialMonitor:
                                        job=job.job_id)
                 except RPCError:
                     pass
-        self.scheduler.release_credential_holds(self.user)
+        self.scheduler.release_credential_holds()

@@ -66,11 +66,16 @@ class GridManager(Service):
         user: str,
         host: Host,
         credential_source=None,
+        max_submitted_per_resource: Optional[int] = None,
     ):
         self.callback_service = f"gramcb:{user}"
         super().__init__(host, name=self.callback_service)
         self.scheduler = scheduler
         self.user = user
+        # Client-side fair-share throttle (§5: a user's unthrottled
+        # submissions once overloaded a gatekeeper): never keep more
+        # than this many of our jobs in flight per remote resource.
+        self.max_submitted_per_resource = max_submitted_per_resource
         self.client = Gram2Client(host, credential_source=credential_source)
         self.exited = False
         self._wake = self.sim.event(name=f"gm-wake:{user}")
@@ -98,7 +103,7 @@ class GridManager(Service):
                 ev.succeed(None)
 
     def _jobs(self) -> list[GridJob]:
-        return self.scheduler.jobs_for_user(self.user)
+        return self.scheduler.jobs_for_user()
 
     def _submit_candidates(self) -> list[GridJob]:
         if PerfFlags.scheduler_indexes:
@@ -138,6 +143,19 @@ class GridManager(Service):
             if resource is None:
                 return     # broker has no candidate yet; retry next pass
             job.resource = resource
+        limit = self.max_submitted_per_resource
+        if limit is not None and \
+                self.scheduler.inflight_on(job.resource) >= limit:
+            # Fair-share throttle: this resource already carries our
+            # quota of in-flight jobs.  Leave the job UNSUBMITTED (the
+            # next pass retries; completions kick the wake event) and,
+            # when a broker owns placement, release the pick so it may
+            # route the job to a less-loaded site next time.
+            self.sim.metrics.counter("gridmanager.submit_throttled").inc(
+                label=job.resource)
+            if self.scheduler.broker is not None:
+                job.resource = ""
+            return
         attempt_start = self.sim.now
         job.state = J.SUBMITTING
         job.attempts += 1
@@ -449,5 +467,5 @@ class GridManager(Service):
         for proc in self._procs:
             if proc.alive:
                 proc.kill(cause="gridmanager exit")
-        self.scheduler.gridmanager_exited(self.user)
+        self.scheduler.gridmanager_exited()
         return True

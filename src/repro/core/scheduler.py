@@ -13,6 +13,7 @@ GridManager reconnects to (or safely resubmits) every job -- the §4.2
 from __future__ import annotations
 
 import bisect
+import warnings
 from typing import Optional
 
 from ..sim.hosts import Host
@@ -38,12 +39,17 @@ class CondorGScheduler:
         notifier: Optional[Notifier] = None,
         userlog: Optional[UserLog] = None,
         recover: bool = True,
+        max_submitted_per_resource: Optional[int] = None,
     ):
         self.host = host
         self.sim = host.sim
         self.user = user
         self.broker = broker
         self.credential_source = credential_source
+        # Fair-share throttle: cap this user's in-flight jobs
+        # (SUBMITTING/PENDING/ACTIVE) per remote resource, so one agent
+        # cannot monopolize a gatekeeper in a multi-tenant grid.
+        self.max_submitted_per_resource = max_submitted_per_resource
         self.notifier = notifier or Notifier()
         self.userlog = userlog or UserLog()
         self.jobs: dict[str, GridJob] = {}
@@ -58,6 +64,11 @@ class CondorGScheduler:
         self._by_jmid: dict[str, GridJob] = {}
         self._jmid_of: dict[str, str] = {}
         self._sorted_jobs: list[GridJob] = []    # ascending job_id
+        # Throttle bookkeeping: resource contact -> in-flight job count,
+        # plus which resource each job is currently counted against.
+        self._inflight: dict[str, int] = {}
+        self._inflight_res: dict[str, str] = {}
+        self._last_depth = 0
         self._store = host.stable.namespace(f"{QUEUE_NS}:{user}")
         self.gridmanager: Optional[GridManager] = None
         if recover:
@@ -71,7 +82,12 @@ class CondorGScheduler:
             depth = len(self._nonterminal)
         else:
             depth = sum(1 for j in self.jobs.values() if not j.is_terminal)
-        self.sim.metrics.gauge("scheduler.queue_depth").set(depth)
+        # Applied as a delta so N concurrent per-user schedulers sharing
+        # one registry yield a true grid-wide depth instead of whichever
+        # agent persisted last clobbering the gauge.
+        self.sim.metrics.gauge("scheduler.queue_depth").inc(
+            depth - self._last_depth)
+        self._last_depth = depth
 
     def _reindex(self, job: GridJob) -> None:
         jid = job.job_id
@@ -99,6 +115,25 @@ class CondorGScheduler:
             if job.jmid:
                 self._by_jmid[job.jmid] = job
             self._jmid_of[jid] = job.jmid
+        # In-flight-per-resource tally (the submit throttle's input);
+        # maintained unconditionally, like the other indexes, so legacy
+        # and perf mode throttle identically.
+        res = job.resource if (job.resource and not job.is_terminal
+                               and job.state in (J.SUBMITTING, J.PENDING,
+                                                 J.ACTIVE)) else ""
+        old_res = self._inflight_res.get(jid, "")
+        if old_res != res:
+            if old_res:
+                left = self._inflight.get(old_res, 0) - 1
+                if left > 0:
+                    self._inflight[old_res] = left
+                else:
+                    self._inflight.pop(old_res, None)
+            if res:
+                self._inflight[res] = self._inflight.get(res, 0) + 1
+                self._inflight_res[jid] = res
+            else:
+                self._inflight_res.pop(jid, None)
 
     def _add_job(self, job: GridJob) -> None:
         self.jobs[job.job_id] = job
@@ -128,6 +163,8 @@ class CondorGScheduler:
         self._add_job(job)
         self.persist(job)
         self.sim.metrics.counter("scheduler.jobs_queued").inc()
+        self.sim.metrics.counter("scheduler.user_jobs_queued").inc(
+            label=self.user)
         self.log(job, "queued", resource=resource or "(broker)")
         self._ensure_gridmanager()
         if self.gridmanager is not None:
@@ -138,13 +175,35 @@ class CondorGScheduler:
         if self.gridmanager is None or self.gridmanager.exited:
             self.gridmanager = GridManager(
                 self, self.user, self.host,
-                credential_source=self.credential_source)
+                credential_source=self.credential_source,
+                max_submitted_per_resource=self.max_submitted_per_resource)
 
-    def gridmanager_exited(self, user: str) -> None:
+    def _check_user(self, user: Optional[str], method: str) -> None:
+        """Deprecation shim for the redundant per-user `user` args.
+
+        The scheduler is bound to exactly one user (`self.user`); in a
+        multi-agent grid a mismatched identity means two agents got
+        cross-wired, which must fail loudly rather than silently operate
+        on the wrong queue.
+        """
+        if user is None:
+            return
+        warnings.warn(
+            f"{method}(user=...) is deprecated; the scheduler is bound "
+            f"to {self.user!r} and takes its identity from self.user",
+            DeprecationWarning, stacklevel=3)
+        if user != self.user:
+            raise ValueError(
+                f"scheduler of {self.user!r} got a {method}() call for "
+                f"{user!r}: agents are cross-wired")
+
+    def gridmanager_exited(self, user: Optional[str] = None) -> None:
+        self._check_user(user, "gridmanager_exited")
         self.gridmanager = None
 
     # -- queries ------------------------------------------------------------
-    def jobs_for_user(self, user: str) -> list[GridJob]:
+    def jobs_for_user(self, user: Optional[str] = None) -> list[GridJob]:
+        self._check_user(user, "jobs_for_user")
         if PerfFlags.scheduler_indexes:
             return list(self._sorted_jobs)
         return sorted(self.jobs.values(), key=lambda j: j.job_id)
@@ -182,6 +241,10 @@ class CondorGScheduler:
     def nonterminal_count(self) -> int:
         return len(self._nonterminal)
 
+    def inflight_on(self, resource: str) -> int:
+        """This user's SUBMITTING/PENDING/ACTIVE jobs at `resource`."""
+        return self._inflight.get(resource, 0)
+
     # -- broker ---------------------------------------------------------------
     def pick_resource(self, job: GridJob):
         if self.broker is None:
@@ -211,7 +274,25 @@ class CondorGScheduler:
         return True
 
     # -- holds ---------------------------------------------------------------
-    def hold_for_credentials(self, user: str, reason: str) -> int:
+    def hold_for_credentials(self, *args, **kwargs) -> int:
+        # Modern signature: hold_for_credentials(reason="").  The legacy
+        # one was (user, reason); a reason= keyword next to a positional,
+        # or two positionals, marks an old caller whose first argument is
+        # the (now redundant) user identity.
+        reason = ""
+        if "reason" in kwargs:
+            reason = kwargs.pop("reason")
+            if args:
+                self._check_user(args[0], "hold_for_credentials")
+                args = args[1:]
+        elif len(args) >= 2:
+            self._check_user(args[0], "hold_for_credentials")
+            reason, args = args[1], args[2:]
+        elif args:
+            reason, args = args[0], args[1:]
+        if args or kwargs:
+            raise TypeError(
+                f"unexpected arguments {list(args) + sorted(kwargs)!r}")
         held = 0
         for job in self.jobs.values():
             if job.state in (J.UNSUBMITTED,):
@@ -222,7 +303,8 @@ class CondorGScheduler:
                 held += 1
         return held
 
-    def release_credential_holds(self, user: str) -> int:
+    def release_credential_holds(self, user: Optional[str] = None) -> int:
+        self._check_user(user, "release_credential_holds")
         released = 0
         for job in self.jobs.values():
             if job.state == J.HELD:
@@ -261,6 +343,8 @@ class CondorGScheduler:
     def job_finished(self, job: GridJob) -> None:
         event = "terminate" if job.state == J.DONE else "failed"
         self.sim.metrics.counter("scheduler.jobs_finished").inc(label=event)
+        self.sim.metrics.counter("scheduler.user_jobs_finished").inc(
+            label=self.user)
         self.log(job, event, exit_code=job.exit_code,
                  reason=job.failure_reason)
         self.notifier.fire(job.job_id, event,

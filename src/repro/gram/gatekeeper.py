@@ -49,14 +49,20 @@ class Gatekeeper(Service):
         site: str = "",
         restart_on_boot: bool = True,
         max_jobmanagers: Optional[int] = None,
+        max_user_jobmanagers: Optional[int] = None,
     ):
         super().__init__(host, authorizer=authorizer)
         self.lrm_contact = lrm_contact
         self.site = site or host.name
         # Interface machines of the era melted under too many JobManager
         # processes; sites capped them and refused further submissions.
+        # The global cap protects the machine; the per-user cap is the
+        # fair-share layer (§5 reports a real incident where one user's
+        # unthrottled submissions overloaded a gatekeeper for everyone).
         self.max_jobmanagers = max_jobmanagers
+        self.max_user_jobmanagers = max_user_jobmanagers
         self.rejected_busy = 0
+        self.rejected_user_busy = 0
         self._ids = itertools.count(1)
         # (client_host, seq) -> jmid: dedup cache for two-phase submits.
         # Volatile on purpose: a gatekeeper crash wipes it, and safety
@@ -78,7 +84,9 @@ class Gatekeeper(Service):
         fresh._ids = self._ids        # keep ids unique across reboots
         fresh._seen = {}
         fresh.max_jobmanagers = self.max_jobmanagers
+        fresh.max_user_jobmanagers = self.max_user_jobmanagers
         fresh.rejected_busy = 0
+        fresh.rejected_user_busy = 0
         # NB: the original boot action stays registered on the host and
         # fires on every restart -- do not add another here, or actions
         # (and gatekeepers created per boot) grow exponentially.
@@ -91,20 +99,31 @@ class Gatekeeper(Service):
         """Liveness probe (GridManager failure detector, §4.2)."""
         return self.site
 
+    def _live_jobmanagers(self, owner: str) -> tuple[int, int]:
+        """(total, owned-by-`owner`) live JobManagers on this machine."""
+        from .protocol import GRAM_TERMINAL
+
+        live = live_user = 0
+        for name, svc in self.host.services.items():
+            if name.startswith("jm:") and \
+                    getattr(svc, "state", "") not in GRAM_TERMINAL:
+                live += 1
+                if getattr(svc, "owner", "") == owner:
+                    live_user += 1
+        return live, live_user
+
     def handle_submit(self, ctx, seq: int, request: GramJobRequest,
                       callback: Optional[tuple] = None) -> dict:
         """Phase 1 of two-phase submission; idempotent on (client, seq)."""
         key = (ctx.caller_host, seq)
+        owner = ctx.principal or ctx.caller_host
         jmid = self._seen.get(key)
         if jmid is None:
-            if self.max_jobmanagers is not None:
-                from .protocol import GRAM_TERMINAL
-
-                live = sum(
-                    1 for name, svc in self.host.services.items()
-                    if name.startswith("jm:")
-                    and getattr(svc, "state", "") not in GRAM_TERMINAL)
-                if live >= self.max_jobmanagers:
+            if self.max_jobmanagers is not None or \
+                    self.max_user_jobmanagers is not None:
+                live, live_user = self._live_jobmanagers(owner)
+                if self.max_jobmanagers is not None and \
+                        live >= self.max_jobmanagers:
                     self.rejected_busy += 1
                     self.sim.metrics.counter("gatekeeper.submits").inc(
                         label="rejected_busy")
@@ -113,6 +132,20 @@ class Gatekeeper(Service):
                     raise GatekeeperBusy(
                         f"gatekeeper {self.site} at its JobManager "
                         f"limit ({self.max_jobmanagers})")
+                if self.max_user_jobmanagers is not None and \
+                        live_user >= self.max_user_jobmanagers:
+                    self.rejected_user_busy += 1
+                    self.sim.metrics.counter("gatekeeper.submits").inc(
+                        label="rejected_user_busy")
+                    self.sim.metrics.counter(
+                        "gatekeeper.rejects_by_user").inc(label=owner)
+                    self._trace("submit_rejected_user_busy", seq=seq,
+                                client=ctx.caller_host, owner=owner,
+                                live=live_user)
+                    raise GatekeeperBusy(
+                        f"gatekeeper {self.site} at the per-user "
+                        f"JobManager limit ({self.max_user_jobmanagers}) "
+                        f"for {owner}")
             jmid = f"{self.site}-jm{next(self._ids)}"
             self._seen[key] = jmid
             JobManager(
@@ -120,10 +153,12 @@ class Gatekeeper(Service):
                 lrm_contact=self.lrm_contact,
                 request=request,
                 client_callback=tuple(callback) if callback else None,
-                owner=ctx.principal or ctx.caller_host,
+                owner=owner,
                 credential=ctx.credential,
             )
             self.sim.metrics.counter("gatekeeper.submits").inc(label="new")
+            self.sim.metrics.counter("gatekeeper.submits_by_user").inc(
+                label=owner)
             self._trace("jobmanager_created", jmid=jmid, seq=seq,
                         client=ctx.caller_host, owner=ctx.principal)
         else:

@@ -31,6 +31,10 @@ class SiteSpec:
     allocation_cost: float = 0.0
     register_mds: bool = True
     mds_interval: float = 60.0
+    #: gatekeeper admission caps: total live JobManagers on the
+    #: interface machine, and per-user fair-share cap (None = unlimited)
+    max_jobmanagers: Optional[int] = None
+    max_user_jobmanagers: Optional[int] = None
     #: extra keyword arguments for the LRM flavor (e.g. Condor-pool knobs)
     lrm_options: dict[str, Any] = field(default_factory=dict)
 
@@ -45,6 +49,9 @@ class AgentSpec:
     myproxy: bool = False
     personal_pool: bool = True
     warn_threshold: float = 3600.0
+    #: client-side fair-share throttle: cap on this user's in-flight
+    #: (SUBMITTING/PENDING/ACTIVE) jobs per remote resource
+    max_submitted_per_resource: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -3,16 +3,27 @@
 The paper reports its experiences in CPU-hours delivered, average and
 peak concurrently busy processors, and elapsed wall-clock -- all of which
 fall out of the LRM start/finish trace records.
+
+Multi-tenant runs additionally need *per-user* accounting (who queued
+what, who burned which CPU-seconds, who got throttled where, what each
+user's allocations cost): :func:`user_rollup` joins every agent's queue,
+the per-user metric labels, and the sites' usage ledgers into one table,
+and :func:`grid_cost_report` aggregates the §1 cost reports across every
+agent of a testbed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..states import COMPLETE_STATES, JobState
 from ..sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .testbed import GridTestbed
 
 
 @dataclass
@@ -171,3 +182,107 @@ def percentile(values: Iterable[float], q: float) -> float:
     if not values:
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+# -- per-user accounting (multi-tenant runs) -----------------------------------
+
+def _labels_about(counter, user: str) -> float:
+    """Sum a counter's labels that belong to `user`.
+
+    Gatekeepers label by the submitting identity, which is either the
+    user's submit host (``submit-<user>``) or a site-local gridmap
+    account (``<site>_<user>``); both embed the user name, the same
+    convention :meth:`GridTestbed.cost_report` applies to LRM accounts.
+    """
+    if counter is None:
+        return 0.0
+    return sum(v for label, v in counter.labels.items() if user in label)
+
+
+def user_rollup(tb: "GridTestbed") -> dict[str, dict]:
+    """One accounting row per user of a (finished or live) testbed.
+
+    Joins three surfaces: each agent's persistent queue (job states and
+    attempts), the per-user metric labels (queued/finished counters,
+    gatekeeper admissions and rejections, client-side throttling), and
+    the sites' per-account CPU ledgers (usage and §1 allocation cost).
+    """
+    metrics = tb.sim.metrics
+    queued_c = metrics.get("scheduler.user_jobs_queued")
+    finished_c = metrics.get("scheduler.user_jobs_finished")
+    gk_submits = metrics.get("gatekeeper.submits_by_user")
+    gk_rejects = metrics.get("gatekeeper.rejects_by_user")
+    out: dict[str, dict] = {}
+    for name, agent in sorted(tb.agents.items()):
+        jobs = list(agent.scheduler.jobs.values())
+        by_state: dict[str, int] = {}
+        for job in jobs:
+            by_state[str(job.state)] = by_state.get(str(job.state), 0) + 1
+        # GlideIn-path payloads live in the agent's personal condor
+        # queue, not the grid queue (there the jobs are the pilots).
+        condor_jobs = condor_done = 0
+        if agent.schedd is not None:
+            for cjob in agent.schedd.jobs.values():
+                condor_jobs += 1
+                if cjob.state in COMPLETE_STATES:
+                    condor_done += 1
+        cpu_seconds = sum(
+            usage for site in tb.sites.values()
+            for account, usage in site.lrm.user_usage.items()
+            if name in account)
+        cost = tb.cost_report(name)
+        out[name] = {
+            "jobs": len(jobs),
+            "done": by_state.get(str(JobState.DONE), 0),
+            "failed": by_state.get(str(JobState.FAILED), 0),
+            "held": by_state.get(str(JobState.HELD), 0),
+            "attempts": sum(j.attempts for j in jobs),
+            "condor_jobs": condor_jobs,
+            "condor_done": condor_done,
+            "queued_counter": (queued_c.labelled(name)
+                               if queued_c is not None else 0.0),
+            "finished_counter": (finished_c.labelled(name)
+                                 if finished_c is not None else 0.0),
+            "gatekeeper_submits": _labels_about(gk_submits, name),
+            "gatekeeper_rejects": _labels_about(gk_rejects, name),
+            "cpu_seconds": cpu_seconds,
+            "cpu_hours": cpu_seconds / 3600.0,
+            "cost": cost["total"],
+        }
+    return out
+
+
+def grid_cost_report(tb: "GridTestbed") -> dict:
+    """§1 cost reports for every agent, plus grid-wide totals.
+
+    ``users`` maps each user to their per-site (and ``total``) charge;
+    ``per_site`` sums each site's revenue over all users; ``total`` is
+    the grand total (and equals the sum of either view).
+    """
+    users = {name: tb.cost_report(name) for name in sorted(tb.agents)}
+    per_site: dict[str, float] = {name: 0.0 for name in sorted(tb.sites)}
+    for report in users.values():
+        for site_name, charge in report.items():
+            if site_name != "total":
+                per_site[site_name] = per_site.get(site_name, 0.0) + charge
+    return {
+        "users": users,
+        "per_site": per_site,
+        "total": sum(per_site.values()),
+    }
+
+
+def fairness(values: Iterable[float]) -> float:
+    """Jain's fairness index over per-user shares (1.0 = perfectly fair).
+
+    ``(sum x)^2 / (n * sum x^2)`` -- the standard scalar for "did N
+    tenants get comparable service", reported by the multiuser
+    benchmark next to its raw per-user table.
+    """
+    xs = np.asarray(list(values), dtype=float)
+    if xs.size == 0:
+        return 1.0
+    denom = xs.size * float(np.square(xs).sum())
+    if denom == 0.0:
+        return 1.0
+    return float(np.square(xs.sum()) / denom)

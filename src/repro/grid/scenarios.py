@@ -211,6 +211,81 @@ def scale_glidein_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
     return tb
 
 
+# -- multi-tenant scenarios (benchmarks/bench_multiuser.py) --------------------
+
+def multiuser_sites(n_sites: int = 20, cpus: int = 25,
+                    max_user_jobmanagers: int = 6) -> tuple[SiteSpec, ...]:
+    """A fleet of shared sites with per-user gatekeeper fair-share caps."""
+    return tuple(
+        SiteSpec(f"site{i:02d}",
+                 scheduler=_SCALE_SCHEDULERS[i % len(_SCALE_SCHEDULERS)],
+                 cpus=cpus, register_mds=False,
+                 max_user_jobmanagers=max_user_jobmanagers)
+        for i in range(n_sites))
+
+
+def multiuser_gram_grid(seed: int = 0, users: int = 50,
+                        jobs_per_user: int = 100, n_sites: int = 20,
+                        cpus: int = 25, max_user_jobmanagers: int = 6,
+                        max_submitted_per_resource: int = 4) -> GridTestbed:
+    """The multi-tenant GRAM cell: `users` concurrent Condor-G agents
+    (one scheduler + GridManager + submit machine each, as §3 requires)
+    spraying `jobs_per_user` grid jobs over the same `n_sites` sites.
+
+    Both fair-share layers are on: each gatekeeper caps live JobManagers
+    per user, and each GridManager throttles its own in-flight jobs per
+    resource.  Submissions interleave round-robin across users so every
+    site sees genuine multi-tenant contention from t=0.
+    """
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=False,
+        trace_max_records=200_000,
+        sites=multiuser_sites(n_sites, cpus, max_user_jobmanagers),
+        agents=tuple(
+            AgentSpec(f"u{i:02d}", broker_kind="userlist",
+                      personal_pool=False,
+                      max_submitted_per_resource=max_submitted_per_resource)
+            for i in range(users)),
+    )
+    tb = GridTestbed.from_config(config)
+    agents = list(tb.agents.values())
+    for k in range(jobs_per_user):
+        for u, agent in enumerate(agents):
+            agent.submit(JobDescription(
+                executable="mt.exe",
+                runtime=60.0 + 5.0 * ((u + k) % 40),
+                stream_stdout=False))
+    return tb
+
+
+def multiuser_glidein_grid(seed: int = 0, users: int = 10,
+                           jobs_per_user: int = 60, n_sites: int = 5,
+                           glideins_per_site: int = 4) -> GridTestbed:
+    """The multi-tenant GlideIn cell: every user builds their own
+    personal pool over the same sites (Figure 2, in the plural) and runs
+    vanilla jobs on their own glideins.
+    """
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=True,
+        trace_max_records=200_000,
+        sites=multiuser_sites(n_sites, cpus=users * glideins_per_site,
+                              max_user_jobmanagers=glideins_per_site),
+        agents=tuple(AgentSpec(f"u{i:02d}") for i in range(users)),
+    )
+    tb = GridTestbed.from_config(config)
+    agents = list(tb.agents.values())
+    for agent in agents:
+        for site in tb.sites.values():
+            agent.glide_in(site.contact, count=glideins_per_site,
+                           walltime=100_000.0, idle_timeout=100_000.0)
+    for k in range(jobs_per_user):
+        for u, agent in enumerate(agents):
+            agent.submit(JobDescription(
+                executable="mw.exe", universe="vanilla",
+                runtime=60.0 + 5.0 * ((u + k) % 40)))
+    return tb
+
+
 register(Scenario(
     name="quickstart",
     description="two GSI sites + MDS broker (examples/quickstart.py)",
@@ -255,6 +330,30 @@ register(Scenario(
     description="10k vanilla jobs on 1000 glideins across 20 sites",
     build=scale_glidein_grid,
     fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+))
+
+# Like the scale cells, the multiuser cells are registered for the
+# benchmark suite and explicit `--scenarios multiuser-*` chaos runs, not
+# for DEFAULT_SCENARIOS.
+
+register(Scenario(
+    name="multiuser-gram",
+    description="50 agents x 100 GRAM jobs over 20 fair-share sites",
+    build=multiuser_gram_grid,
+    fault_horizon=3000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+))
+
+register(Scenario(
+    name="multiuser-glidein",
+    description="10 personal pools x 60 vanilla jobs over 5 shared sites",
+    build=multiuser_glidein_grid,
+    fault_horizon=3000.0,
     cap=200_000.0,
     chunk=5000.0,
     max_faults=2,

@@ -177,7 +177,10 @@ class GridTestbed:
         authorizer = GSIAuthorizer.for_ca(self.ca, gridmap) \
             if self.use_gsi else None
         gatekeeper = Gatekeeper(gk_host, lrm_contact=lrm_host.name,
-                                authorizer=authorizer, site=name)
+                                authorizer=authorizer, site=name,
+                                max_jobmanagers=spec.max_jobmanagers,
+                                max_user_jobmanagers=(
+                                    spec.max_user_jobmanagers))
         site = Site(name=name, gk_host=gk_host, lrm_host=lrm_host,
                     lrm=lrm, gatekeeper=gatekeeper, gridmap=gridmap,
                     cpus=spec.cpus, arch=spec.arch, memory=spec.memory,
@@ -253,6 +256,7 @@ class GridTestbed:
             glidein_binaries_url=self.binaries_url,
             personal_pool=spec.personal_pool,
             warn_threshold=spec.warn_threshold,
+            max_submitted_per_resource=spec.max_submitted_per_resource,
         )
         # Brokers that talk to GSI-protected services need the user's
         # credential; wire it in once the credential monitor exists.
@@ -321,3 +325,13 @@ class GridTestbed:
                                    * site.allocation_cost)
         per_site["total"] = sum(per_site.values())
         return per_site
+
+    def cost_report_all(self) -> dict:
+        """Every user's cost report plus the grid-wide total.
+
+        Convenience wrapper over :func:`repro.grid.metrics.
+        grid_cost_report`, which is where the aggregation logic lives.
+        """
+        from .metrics import grid_cost_report
+
+        return grid_cost_report(self)

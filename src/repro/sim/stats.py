@@ -63,6 +63,18 @@ class Counter:
     def labelled(self, label: str) -> float:
         return self._by_label.get(str(label), 0.0)
 
+    def share(self, label: str) -> float:
+        """`label`'s fraction of the labelled total (fair-share view).
+
+        The denominator is the sum over labels, not ``value``: callers
+        may also ``inc()`` without a label, and an unlabelled increment
+        should not dilute every tenant's share.
+        """
+        denom = sum(self._by_label.values())
+        if denom == 0.0:
+            return 0.0
+        return self._by_label.get(str(label), 0.0) / denom
+
     @property
     def labels(self) -> dict[str, float]:
         return dict(self._by_label)

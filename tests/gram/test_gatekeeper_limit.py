@@ -67,3 +67,86 @@ def test_agent_backs_off_and_eventually_runs_everything():
     # exactly-once held through the rejections
     assert len([j for j in site.lrm.jobs.values()
                 if j.state == "COMPLETED"]) == 9
+
+
+# -- per-user fair-share caps -------------------------------------------------
+
+def test_per_user_limit_rejects_only_the_hog():
+    """One tenant at its cap cannot consume another tenant's headroom."""
+    from repro.sim import Host
+
+    grid = MiniGrid(seed=7, slots=8)
+    grid.gatekeeper.max_user_jobmanagers = 2
+    other = Host(grid.sim, "submit2")
+    results = {"ok": 0, "user_busy": 0, "other_ok": 0}
+
+    def scenario():
+        for i in range(4):       # same caller: third+ submit over the cap
+            try:
+                yield from call(grid.submit, "site-gk", "gatekeeper",
+                                "submit", seq=f"hog-{i}",
+                                request=GramJobRequest(runtime=500.0))
+                results["ok"] += 1
+            except RemoteError as exc:
+                # The per-user rejection must keep the "JobManager
+                # limit" marker: the GridManager's congestion-backoff
+                # path matches on it.
+                assert "JobManager limit" in str(exc)
+                assert "submit" in str(exc)      # names the offender
+                results["user_busy"] += 1
+        # a different caller still has full headroom
+        for i in range(2):
+            yield from call(other, "site-gk", "gatekeeper",
+                            "submit", seq=f"good-{i}",
+                            request=GramJobRequest(runtime=500.0))
+            results["other_ok"] += 1
+
+    grid.drive(scenario())
+    assert results == {"ok": 2, "user_busy": 2, "other_ok": 2}
+    assert grid.gatekeeper.rejected_user_busy == 2
+    assert grid.gatekeeper.rejected_busy == 0    # global cap untouched
+    rejects = grid.sim.metrics.get("gatekeeper.rejects_by_user")
+    assert rejects.labels == {"submit": 2.0}
+    submits = grid.sim.metrics.get("gatekeeper.submits_by_user")
+    assert submits.labels == {"submit": 2.0, "submit2": 2.0}
+
+
+def test_per_user_slots_free_up_when_jobmanagers_finish():
+    grid = MiniGrid(seed=7, slots=8)
+    grid.gatekeeper.max_user_jobmanagers = 1
+    outcome = {}
+
+    def scenario():
+        yield from grid.client.submit("site-gk",
+                                      GramJobRequest(runtime=10.0))
+        yield grid.sim.timeout(100.0)   # first JM reaches a terminal state
+        r2 = yield from grid.client.submit("site-gk",
+                                           GramJobRequest(runtime=10.0))
+        outcome["second"] = r2["jmid"]
+        yield grid.sim.timeout(100.0)
+
+    grid.drive(scenario())
+    assert outcome["second"]
+    assert grid.gatekeeper.rejected_user_busy == 0
+
+
+def test_two_agents_drain_behind_per_user_caps():
+    """End to end: a hog and a light user share a capped site; both
+    drain, and the rejections land on the hog alone."""
+    tb = GridTestbed(seed=11)
+    site = tb.add_site("wisc", scheduler="pbs", cpus=8)
+    site.gatekeeper.max_user_jobmanagers = 2
+    hog = tb.add_agent("hog")
+    light = tb.add_agent("light")
+    hog_ids = [hog.submit(JobDescription(runtime=100.0),
+                          resource="wisc-gk") for _ in range(8)]
+    light_ids = [light.submit(JobDescription(runtime=100.0),
+                              resource="wisc-gk") for _ in range(2)]
+    tb.run_until_quiet(max_time=3 * 10**4)
+    assert all(hog.status(j).is_complete for j in hog_ids)
+    assert all(light.status(j).is_complete for j in light_ids)
+    assert site.gatekeeper.rejected_user_busy > 0   # the cap really bit
+    rejects = tb.sim.metrics.get("gatekeeper.rejects_by_user")
+    assert set(rejects.labels) == {"submit-hog"}
+    assert len([j for j in site.lrm.jobs.values()
+                if j.state == "COMPLETED"]) == 10

@@ -346,3 +346,125 @@ def test_rng_streams_are_deterministic_and_independent():
     assert c.rng.stream("x").random() == Simulator(seed=7).rng.stream("x").random()
     assert Simulator(seed=8).rng.stream("x").random() != \
         Simulator(seed=7).rng.stream("x").random()
+
+
+# -- timeout_until edge cases --------------------------------------------------
+
+def test_timeout_until_deadline_equal_to_now_fires():
+    """deadline == now is a zero-delay timer, not an error."""
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(3.0)
+        yield sim.timeout_until(sim.now)   # zero wait
+        fired.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_timeout_until_past_deadline_raises():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert sim.now == 10.0
+    with pytest.raises(ValueError):
+        sim.timeout_until(9.0)
+
+
+def test_timeout_until_fires_at_exact_absolute_time():
+    """No relative-delay float round-trip: the fire time is exactly t."""
+    sim = Simulator()
+    # 0.1 + 0.2 != 0.3 in floats; an absolute deadline must not inherit
+    # that error from a (t - now) subtraction done elsewhere.
+    target = 0.3
+    sim.schedule(0.1, lambda: None)
+    sim.run()
+    times = []
+
+    def proc(sim):
+        yield sim.timeout_until(target)
+        times.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert times == [target]
+
+
+def test_timeout_until_cancel_before_firing():
+    """A cancelled absolute timer neither fires nor holds the clock open."""
+    sim = Simulator()
+    fired = []
+    timer = sim.timeout_until(50.0)
+    timer.callbacks.append(lambda _e: fired.append(sim.now))
+    sim.schedule(1.0, timer.cancel)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert fired == []
+    assert sim.now == 2.0          # clock not dragged out to 50
+    assert timer._cancelled and not timer.triggered
+
+
+def test_timeout_until_cancelled_is_tombstoned():
+    sim = Simulator()
+    timer = sim.timeout_until(100.0)
+    assert sim._tombstones == 0
+    timer.cancel()
+    assert sim._tombstones == 1
+    sim.run()                      # pops and discards the tombstone
+    assert sim._tombstones == 0
+    assert not sim._heap
+
+
+def test_tombstone_compaction_preserves_survivors():
+    """Compaction drops dead entries; live timers still fire in order."""
+    from repro.sim.perf import PerfFlags
+
+    assert PerfFlags.heap_compaction     # default-on in optimized mode
+    sim = Simulator()
+    doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(600)]
+    survivors = []
+    for t in (700.0, 800.0, 900.0):
+        sim.schedule(t, lambda t=t: survivors.append((t, sim.now)))
+    for ev in doomed:
+        ev.cancel()
+    # Compaction triggers mid-loop every time tombstones cross 256 and
+    # outnumber the live entries, so the heap ends far below the 603
+    # entries scheduled; only a sub-threshold residue of dead entries
+    # (tombstones accounted) may remain alongside the 3 live timers.
+    assert len(sim._heap) < 256
+    assert len(sim._heap) == 3 + sim._tombstones
+    sim.run()
+    assert survivors == [(700.0, 700.0), (800.0, 800.0), (900.0, 900.0)]
+
+
+def test_tombstone_compaction_disabled_in_legacy_mode():
+    """With the flag off the heap keeps tombstones until they pop."""
+    from repro.sim.perf import perf_mode
+
+    with perf_mode(False):
+        sim = Simulator()
+        doomed = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(600)]
+        fired = []
+        sim.schedule(700.0, lambda: fired.append(sim.now))
+        for ev in doomed:
+            ev.cancel()
+        assert len(sim._heap) == 601   # nothing compacted
+        assert sim._tombstones == 600
+        sim.run()
+    assert fired == [700.0]
+    assert not sim._heap
+
+
+def test_compaction_below_threshold_keeps_heap():
+    """A few tombstones never trigger a compaction pass."""
+    sim = Simulator()
+    doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    sim.schedule(100.0, lambda: None)
+    for ev in doomed:
+        ev.cancel()
+    assert len(sim._heap) == 11    # 10 <= 256: all tombstones still there
+    assert sim._tombstones == 10
