@@ -1,9 +1,11 @@
-"""SCALE -- §6 at 10x: one agent, 10,000 jobs, 20 sites.
+"""SCALE -- the paper's §6 runs at 10x, 100x and 1000 clients.
 
 The paper's largest runs kept ~650 jobs in flight; this suite pushes the
 same machinery to 10k jobs over 20 x 50-cpu sites, once down the GRAM
 path (grid universe, userlist broker) and once down the GlideIn path
-(vanilla universe on 1000 glideins).  Each cell runs twice at the same
+(vanilla universe on 1000 glideins); ``scale-100k`` drives 100,000 jobs
+through a claim-reusing personal pool, and ``kiloclient`` runs 1000
+independent Condor-G agents against shared fair-share sites.  Each cell runs twice at the same
 seed -- once with the hot-path optimizations enabled (the default) and
 once in legacy mode (``perf_mode(False)``) -- and must produce
 bit-identical :func:`repro.chaos.digest.run_digest` values: the
@@ -16,7 +18,7 @@ regenerates a downsized cell and compares against it, see
 Environment knobs:
 
 * ``BENCH_SCALE_CELLS`` -- comma-separated subset of cells to run
-  (default: all).  CI sets ``smoke-gram``.
+  (default: all).  CI sets ``smoke-gram,smoke-pool``.
 * ``BENCH_SCALE_OUT``   -- where to write the JSON (default: the
   committed ``BENCH_scale.json`` at the repo root).
 """
@@ -32,7 +34,8 @@ from pathlib import Path
 import pytest
 
 from repro.chaos.digest import run_digest
-from repro.grid.scenarios import scale_glidein_grid, scale_gram_grid
+from repro.grid.scenarios import kiloclient_grid, scale_glidein_grid, \
+    scale_gram_grid, scale_pool_grid
 from repro.sim.perf import perf_mode
 from repro.states import is_terminal
 
@@ -40,13 +43,40 @@ SEED = 706
 CAP = 60_000.0
 CHUNK = 2000.0
 
-#: name -> (builder kwargs, which queue holds the jobs)
+#: name -> dict(build=scenario builder, kwargs=..., queues=which job
+#: queues hold the *workload* (glidein pilots in the grid queue never
+#: terminate and are infrastructure, not workload), cap=..., chunk=...
 CELLS = {
-    "gram": (dict(jobs=10_000, n_sites=20, cpus=50), "grid"),
-    "glidein": (dict(jobs=10_000, n_sites=20, glideins_per_site=50),
-                "condor"),
-    "smoke-gram": (dict(jobs=400, n_sites=5, cpus=20), "grid"),
+    "gram": dict(build=scale_gram_grid,
+                 kwargs=dict(jobs=10_000, n_sites=20, cpus=50),
+                 queues=("grid",)),
+    "glidein": dict(build=scale_glidein_grid,
+                    kwargs=dict(jobs=10_000, n_sites=20,
+                                glideins_per_site=50),
+                    queues=("condor",)),
+    "scale-100k": dict(build=scale_pool_grid,
+                       kwargs=dict(jobs=100_000, n_sites=25,
+                                   glideins_per_site=100),
+                       queues=("condor",), cap=200_000.0, chunk=5_000.0),
+    "kiloclient": dict(build=kiloclient_grid,
+                       kwargs=dict(users=1000, jobs_per_user=10,
+                                   n_sites=20, cpus=50),
+                       queues=("grid",), cap=200_000.0, chunk=5_000.0),
+    "smoke-gram": dict(build=scale_gram_grid,
+                       kwargs=dict(jobs=400, n_sites=5, cpus=20),
+                       queues=("grid",)),
+    "smoke-pool": dict(build=scale_pool_grid,
+                       kwargs=dict(jobs=600, n_sites=4,
+                                   glideins_per_site=10),
+                       queues=("condor",), cap=20_000.0, chunk=1_000.0),
 }
+
+
+def _cell_jobs(cell: str) -> int:
+    kwargs = CELLS[cell]["kwargs"]
+    if "jobs" in kwargs:
+        return kwargs["jobs"]
+    return kwargs["users"] * kwargs["jobs_per_user"]
 
 _results: dict[str, dict] = {}
 
@@ -66,34 +96,42 @@ def _out_path() -> Path:
 
 
 def _build(cell: str):
-    kwargs, queue = CELLS[cell]
-    if queue == "condor":
-        return scale_glidein_grid(seed=SEED, **kwargs)
-    return scale_gram_grid(seed=SEED, **kwargs)
+    spec = CELLS[cell]
+    return spec["build"](seed=SEED, **spec["kwargs"])
 
 
-def _nonterminal(tb, queue: str) -> int:
-    agent = tb.agents["scale"]
-    if queue == "condor":
-        return sum(1 for j in agent.schedd.jobs.values()
-                   if not is_terminal(j.state))
-    return sum(1 for j in agent.scheduler.jobs.values() if not j.is_terminal)
+def _nonterminal(tb, queues) -> int:
+    """Open workload jobs across every agent's listed queue kinds."""
+    total = 0
+    for agent in tb.agents.values():
+        schedd = getattr(agent, "schedd", None)
+        if "condor" in queues and schedd is not None:
+            total += sum(1 for j in schedd.jobs.values()
+                         if not is_terminal(j.state))
+        scheduler = getattr(agent, "scheduler", None)
+        if "grid" in queues and scheduler is not None:
+            total += sum(1 for j in scheduler.jobs.values()
+                         if not j.is_terminal)
+    return total
 
 
 def _run_cell(cell: str) -> dict:
     """One timed end-to-end run of `cell`; returns wall/digest/shape."""
-    _, queue = CELLS[cell]
+    spec = CELLS[cell]
+    cap = spec.get("cap", CAP)
+    chunk = spec.get("chunk", CHUNK)
+    queues = spec["queues"]
     gc.collect()
     wall0 = time.perf_counter()
     tb = _build(cell)
-    while tb.sim.now < CAP and _nonterminal(tb, queue):
-        tb.run(until=tb.sim.now + CHUNK)
+    while tb.sim.now < cap and _nonterminal(tb, queues):
+        tb.run(until=tb.sim.now + chunk)
     wall = time.perf_counter() - wall0
     result = {
         "wall_s": round(wall, 2),
         "digest": run_digest(tb),
         "sim_end": tb.sim.now,
-        "unfinished": _nonterminal(tb, queue),
+        "unfinished": _nonterminal(tb, queues),
     }
     del tb
     gc.collect()
@@ -104,7 +142,7 @@ def _run_cell(cell: str) -> dict:
 def test_scale_cell(cell, report):
     if cell not in _cells_to_run():
         pytest.skip(f"cell {cell!r} not in BENCH_SCALE_CELLS")
-    kwargs, _ = CELLS[cell]
+    kwargs = CELLS[cell]["kwargs"]
     optimized = _run_cell(cell)
     with perf_mode(False):
         legacy = _run_cell(cell)
@@ -124,7 +162,7 @@ def test_scale_cell(cell, report):
         "sim_makespan": optimized["sim_end"],
     }
     report.table(f"SCALE {cell}: legacy vs optimized kernel", [{
-        "jobs": kwargs["jobs"],
+        "jobs": _cell_jobs(cell),
         "sites": kwargs["n_sites"],
         "legacy wall (s)": legacy["wall_s"],
         "optimized wall (s)": optimized["wall_s"],

@@ -7,10 +7,11 @@ the bilateral Requirements/Rank match used by the Negotiator and by the
 Condor-G resource broker.
 """
 
-from .ast import AttrRef, EvalContext, Expr, Literal
+from .ast import AttrRef, EvalContext, Expr, Literal, is_match_static
 from .classad import (
     ClassAd,
     best_match,
+    match_signature,
     rank_value,
     requirements_met,
     symmetric_match,
@@ -22,6 +23,7 @@ from .values import ERROR, UNDEFINED, is_false, is_true, value_repr
 __all__ = [
     "ERROR", "UNDEFINED", "AttrRef", "ClassAd", "ClassAdSyntaxError",
     "EvalContext", "Expr", "Literal", "best_match", "is_false", "is_true",
+    "is_match_static", "match_signature",
     "parse", "parse_ad_pairs", "rank_value", "requirements_met",
     "symmetric_match", "value_repr",
 ]

@@ -469,3 +469,46 @@ class FuncCall(Expr):
 
     def __str__(self) -> str:
         return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+# -- static (time/RNG-free) expression analysis -------------------------------
+
+# Builtins whose result depends on the evaluation context rather than
+# purely on their argument values.
+_DYNAMIC_FUNCS = frozenset({"random", "time"})
+
+
+def is_match_static(expr: Expr) -> bool:
+    """True if evaluating ``expr`` can never read the clock or the RNG.
+
+    Used by the Negotiator's match memoization: a (job, machine) pair
+    whose ads are entirely static evaluates to the same match/rank at
+    any ``now``, so one evaluation per cycle is enough.  Conservative by
+    construction -- ``CurrentTime`` (which falls back to ``ctx.now``
+    when the ad lacks the attribute), ``time()`` and ``random()`` are
+    dynamic, and unknown node kinds count as dynamic.
+    """
+    if isinstance(expr, Literal):
+        return True
+    if isinstance(expr, AttrRef):
+        return expr.name.lower() != "currenttime"
+    if isinstance(expr, UnaryOp):
+        return is_match_static(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return is_match_static(expr.left) and is_match_static(expr.right)
+    if isinstance(expr, Ternary):
+        return (is_match_static(expr.cond) and is_match_static(expr.then)
+                and is_match_static(expr.other))
+    if isinstance(expr, ListExpr):
+        return all(is_match_static(item) for item in expr.items)
+    if isinstance(expr, ClassAdExpr):
+        return all(is_match_static(sub) for _, sub in expr.pairs)
+    if isinstance(expr, Subscript):
+        return is_match_static(expr.base) and is_match_static(expr.index)
+    if isinstance(expr, Select):
+        return is_match_static(expr.base)
+    if isinstance(expr, FuncCall):
+        if expr.name.lower() in _DYNAMIC_FUNCS:
+            return False
+        return all(is_match_static(arg) for arg in expr.args)
+    return False

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
-from .ast import AttrRef, EvalContext, Expr, Literal
+from .ast import AttrRef, EvalContext, Expr, Literal, is_match_static
 from .values import ERROR, UNDEFINED, is_true, value_repr
 
 
@@ -232,7 +232,41 @@ def best_match(
     return best
 
 
+def match_signature(ad: ClassAd, cache: Optional[dict] = None
+                    ) -> tuple[tuple, bool]:
+    """Content signature of an ad plus whether it is match-static.
+
+    The signature is a hashable value identity: two ads with the same
+    attribute names bound to textually identical expressions share one
+    signature, which is what lets the Negotiator evaluate Requirements
+    once per (job-signature, machine) instead of once per job.  The
+    second element is True when every attribute expression is
+    :func:`repro.classads.ast.is_match_static` -- only then is it safe
+    to reuse evaluations across different ``now`` values.
+
+    ``cache`` (optional) maps ``id(expr)`` to ``(text, static, expr)``;
+    holding the expr keeps its id from being recycled.  Ads routinely
+    share Expr objects (``ClassAd.copy`` is shallow), so the cache
+    collapses repeated ``str(expr)`` work across thousands of ads.
+    """
+    parts = []
+    static = True
+    for key in sorted(ad._attrs):
+        expr = ad._attrs[key]
+        if cache is not None:
+            entry = cache.get(id(expr))
+            if entry is None or entry[2] is not expr:
+                entry = (str(expr), is_match_static(expr), expr)
+                cache[id(expr)] = entry
+            text, expr_static = entry[0], entry[1]
+        else:
+            text, expr_static = str(expr), is_match_static(expr)
+        parts.append((key, text))
+        static = static and expr_static
+    return tuple(parts), static
+
+
 __all__ = [
-    "ClassAd", "best_match", "rank_value", "requirements_met",
-    "symmetric_match", "value_repr",
+    "ClassAd", "best_match", "match_signature", "rank_value",
+    "requirements_met", "symmetric_match", "value_repr",
 ]

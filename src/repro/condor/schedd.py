@@ -19,10 +19,11 @@ Grid-universe jobs are *not* handled here: the Condor-G core
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import Callable, Optional
 
-from ..classads import ClassAd
+from ..classads import ClassAd, symmetric_match
 from ..sim.errors import RPCError
 from ..sim.hosts import Host
 from ..sim.rpc import Service, call
@@ -57,14 +58,26 @@ class Schedd(Service):
         collector: Optional[str] = None,
         flock_to: Optional[list[str]] = None,
         credential=None,
+        claim_reuse: bool = False,
     ):
         super().__init__(host, name="schedd")
         self.schedd_name = name or f"schedd@{host.name}"
         self.collector = collector
         self.flock_to = list(flock_to or [])
         self.credential = credential
+        self.claim_reuse = claim_reuse
         self.jobs: dict[str, CondorJob] = {}
         self._ids = itertools.count(1)
+        # Idle-job bookkeeping: a membership set (O(1) IdleJobs counts)
+        # plus a lazy priority heap of (-prio, submit_time, seq, id)
+        # entries used by the claim-reuse fast path; stale entries are
+        # skipped at pop time.
+        self._idle_ids: set[str] = set()
+        self._idle_heap: list[tuple[int, float, int, str]] = []
+        self._idle_seq = itertools.count()
+        # startd name -> (host, machine ad) for claims we may reuse
+        self._claim_ads: dict[str, tuple[str, ClassAd]] = {}
+        self.claims_reused = 0
         self._queue_store = host.stable.namespace(QUEUE_NS)
         self._recover_queue()
         self.shadows: dict[str, Shadow] = {}
@@ -84,11 +97,58 @@ class Schedd(Service):
         for _key, record in self._queue_store.items():
             job = CondorJob.from_record(record)
             self.jobs[job.job_id] = job
+            self._sync_idle(job)
+
+    # -- idle-job index -------------------------------------------------------
+    def _sync_idle(self, job: CondorJob) -> None:
+        """Keep the idle membership set and lazy heap in step with
+        ``job.state``; call after every state transition."""
+        eligible = (job.state == IDLE
+                    and job.universe in ("vanilla", "standard"))
+        if eligible:
+            if job.job_id not in self._idle_ids:
+                self._idle_ids.add(job.job_id)
+                heapq.heappush(self._idle_heap,
+                               (-_job_prio(job), job.submit_time,
+                                next(self._idle_seq), job.job_id))
+        else:
+            self._idle_ids.discard(job.job_id)
+
+    def _pop_reusable(self, machine_ad: Optional[ClassAd]
+                      ) -> Optional[CondorJob]:
+        """Highest-priority idle job compatible with ``machine_ad``.
+
+        Pops lazily: entries invalidated by state or priority changes
+        are dropped; compatible-but-not-chosen entries go back on the
+        heap untouched.
+        """
+        seen: set[str] = set()
+        buffer: list[tuple[int, float, int, str]] = []
+        chosen: Optional[CondorJob] = None
+        while self._idle_heap:
+            entry = heapq.heappop(self._idle_heap)
+            neg_prio, _submit_time, _seq, job_id = entry
+            job = self.jobs.get(job_id)
+            if (job is None or job_id not in self._idle_ids
+                    or job.state != IDLE
+                    or -_job_prio(job) != neg_prio
+                    or job_id in seen):
+                continue    # stale or duplicate entry
+            seen.add(job_id)
+            if machine_ad is None or symmetric_match(
+                    job.ad, machine_ad, now=self.sim.now):
+                chosen = job
+                break
+            buffer.append(entry)
+        for entry in buffer:
+            heapq.heappush(self._idle_heap, entry)
+        return chosen
 
     # -- submission / local API ---------------------------------------------------
     def submit(self, job: CondorJob) -> str:
         job.submit_time = self.sim.now
         self.jobs[job.job_id] = job
+        self._sync_idle(job)
         self._persist(job)
         self.sim.metrics.counter("schedd.jobs").inc(label="submitted")
         self._trace("submit", job=job.job_id, universe=job.universe,
@@ -119,6 +179,7 @@ class Schedd(Service):
             return False
         job.state = REMOVED
         job.end_time = self.sim.now
+        self._sync_idle(job)
         self._persist(job)
         return True
 
@@ -128,6 +189,7 @@ class Schedd(Service):
             return False
         job.state = HELD
         job.hold_reason = reason
+        self._sync_idle(job)
         self._persist(job)
         self._trace("hold", job=job_id, reason=reason)
         return True
@@ -138,6 +200,7 @@ class Schedd(Service):
             return False
         job.state = IDLE
         job.hold_reason = ""
+        self._sync_idle(job)
         self._persist(job)
         self._trace("release", job=job_id)
         return True
@@ -187,11 +250,15 @@ class Schedd(Service):
         if job is None:
             return False
         job.ad["JobPrio"] = prio
+        if job.job_id in self._idle_ids:
+            # refresh the heap entry so the new priority orders reuse
+            self._idle_ids.discard(job.job_id)
+            self._sync_idle(job)
         self._persist(job)
         return True
 
     def handle_matched(self, ctx, job_id: str, startd_name: str,
-                       startd_host: str):
+                       startd_host: str, startd_ad=None):
         """The negotiator found us a machine: claim and activate it."""
         job = self.jobs.get(job_id)
         if job is None or job.state != IDLE:
@@ -199,11 +266,15 @@ class Schedd(Service):
         job.state = MATCHED
         job.matched_to = startd_name
         job.matched_host = startd_host
+        self._sync_idle(job)
         self._persist(job)
         ok = yield from self._claim_and_start(job, startd_name, startd_host)
+        if ok and self.claim_reuse and startd_ad is not None:
+            self._claim_ads[startd_name] = (startd_host, startd_ad)
         if not ok and job.state == MATCHED:
             job.state = IDLE
             job.matched_to = ""
+            self._sync_idle(job)
             self._persist(job)
         return ok
 
@@ -225,12 +296,23 @@ class Schedd(Service):
                 self.host, startd_host, f"startd:{startd_name}",
                 "request_claim", credential=self.credential,
                 schedd_host=self.host.name, job_id=job.job_id,
-                shadow_service=shadow_service)
+                shadow_service=shadow_service,
+                keep_claim=self.claim_reuse)
         except RPCError:
             claimed = False
         if not claimed:
             self._trace("claim_refused", job=job.job_id, startd=startd_name)
             return False
+        ok = yield from self._activate(job, startd_name, startd_host)
+        return ok
+
+    def _activate(self, job: CondorJob, startd_name: str,
+                  startd_host: str):
+        """Spin up a Shadow and activate an already-held claim.
+
+        Shared by the negotiated path (right after ``request_claim``)
+        and the claim-reuse fast path (no new claim round-trip).
+        """
         shadow = Shadow(self.host, job.job_id,
                         on_exit=self._job_exited,
                         on_vacated=self._job_vacated,
@@ -246,6 +328,11 @@ class Schedd(Service):
             "ckpt_bytes": job.ckpt_bytes,
             "ckpt_server": job.ckpt_server,
             "program": job.program,
+            # refresh the claim's shadow coordinates: on reuse the
+            # startd's stored claim still points at the previous job's
+            # shadow
+            "shadow_host": self.host.name,
+            "shadow_service": f"shadow:{job.job_id}",
         }
         try:
             activated = yield from call(
@@ -267,6 +354,49 @@ class Schedd(Service):
         self._trace("job_running", job=job.job_id, startd=startd_name)
         return True
 
+    # -- claim reuse ---------------------------------------------------------
+    def _reuse_claim(self, startd_name: str):
+        """Re-match a compatible idle job onto a claim we still hold.
+
+        Runs right after a job exit on that claim: picks the
+        highest-priority idle job whose ad bilaterally matches the
+        cached machine ad and activates it directly -- no negotiation
+        round-trip.  With nothing to run, the claim is released so the
+        machine returns to the pool.
+        """
+        cached = self._claim_ads.get(startd_name)
+        if cached is None:
+            return
+        startd_host, machine_ad = cached
+        job = self._pop_reusable(machine_ad)
+        if job is None:
+            self._claim_ads.pop(startd_name, None)
+            self._trace("claim_release", startd=startd_name)
+            try:
+                yield from call(self.host, startd_host,
+                                f"startd:{startd_name}", "release_claim",
+                                credential=self.credential)
+            except RPCError:
+                pass    # the startd's own claim timeout covers us
+            return
+        job.state = MATCHED
+        job.matched_to = startd_name
+        job.matched_host = startd_host
+        self._sync_idle(job)
+        self._persist(job)
+        self.claims_reused += 1
+        self.sim.metrics.counter("schedd.claims_reused").inc()
+        self._trace("claim_reuse", job=job.job_id, startd=startd_name)
+        ok = yield from self._activate(job, startd_name, startd_host)
+        if not ok:
+            # the claim is gone (timed out or lost); back to negotiation
+            self._claim_ads.pop(startd_name, None)
+            if job.state == MATCHED:
+                job.state = IDLE
+                job.matched_to = ""
+                self._sync_idle(job)
+                self._persist(job)
+
     # -- shadow callbacks -----------------------------------------------------------
     def _job_exited(self, job_id: str, code: int) -> None:
         job = self.jobs.get(job_id)
@@ -282,12 +412,16 @@ class Schedd(Service):
         job.total_goodput = job.runtime
         if shadow is not None:
             job.remote_syscalls += shadow.syscall_count
+        self._sync_idle(job)
         self._persist(job)
         self._trace("job_completed", job=job_id, code=code)
         if job.on_complete is not None:
             job.on_complete(job)
         for hook in self.completion_hooks:
             hook(job)
+        if self.claim_reuse and job.matched_to in self._claim_ads:
+            self.host.spawn(self._reuse_claim(job.matched_to),
+                            name=f"claim-reuse:{job.matched_to}")
 
     def _job_vacated(self, job_id: str, checkpoint: float) -> None:
         job = self.jobs.get(job_id)
@@ -307,6 +441,7 @@ class Schedd(Service):
             job.remote_syscalls += shadow.syscall_count
         job.state = IDLE
         job.matched_to = ""
+        self._sync_idle(job)
         self._persist(job)
         self._trace("job_vacated", job=job_id, checkpoint=job.progress)
         for hook in self.vacate_hooks:
@@ -317,7 +452,7 @@ class Schedd(Service):
         ad = ClassAd()
         ad["Name"] = self.schedd_name
         ad["ScheddHost"] = self.host.name
-        ad["IdleJobs"] = len(self.idle_jobs())
+        ad["IdleJobs"] = len(self._idle_ids)
         return ad
 
     def _advertise_loop(self):

@@ -81,6 +81,10 @@ class Startd(Service):
 
     ADVERTISE_INTERVAL = 30.0
     CHECKPOINT_INTERVAL = 60.0
+    # How long a held (reusable) claim may sit inactive before the
+    # startd unilaterally releases it -- liveness if the claiming
+    # schedd crashes between jobs.
+    CLAIM_REUSE_TIMEOUT = 120.0
 
     def __init__(
         self,
@@ -109,6 +113,10 @@ class Startd(Service):
         self.current_job_id = ""
         self.syscalls_issued = 0
         self.busy_time = 0.0
+        self.claims_held = 0
+        # bumped on every claim-state transition so a stale watchdog
+        # never kills a claim that has since been reactivated
+        self._claim_epoch = 0
         self._procs = [host.spawn(self._advertise_loop(),
                                   name=f"startd:{name}")]
 
@@ -151,15 +159,18 @@ class Startd(Service):
 
     # -- claim protocol -----------------------------------------------------------
     def handle_request_claim(self, ctx, schedd_host: str, job_id: str,
-                             shadow_service: str) -> bool:
+                             shadow_service: str,
+                             keep_claim: bool = False) -> bool:
         if self.state != UNCLAIMED:
             return False
         self.state = CLAIMED
+        self._claim_epoch += 1
         self.claimed_by = {
             "schedd_host": schedd_host,
             "job_id": job_id,
             "shadow_host": schedd_host,
             "shadow_service": shadow_service,
+            "keep_claim": keep_claim,
         }
         self._trace("claimed", by=schedd_host, job=job_id)
         return True
@@ -167,7 +178,14 @@ class Startd(Service):
     def handle_activate_claim(self, ctx, jobdesc: dict) -> bool:
         if self.state != CLAIMED or self.claimed_by is None:
             return False
+        # only the claim holder may activate: a claim released by the
+        # reuse timeout and re-claimed by another schedd must not be
+        # hijacked by the original holder's late activate
+        if ctx is not None and \
+                self.claimed_by.get("schedd_host") != ctx.caller_host:
+            return False
         self.state = BUSY
+        self._claim_epoch += 1
         self.sim.metrics.gauge("startd.busy_slots").inc()
         self.sim.metrics.counter("startd.jobs_run").inc()
         desc = dict(self.claimed_by)
@@ -194,10 +212,34 @@ class Startd(Service):
         if self.state == BUSY:
             self.sim.metrics.gauge("startd.busy_slots").dec()
         self.state = UNCLAIMED
+        self._claim_epoch += 1
         self.claimed_by = None
         self._starter = None
         self.current_job_id = ""
         self._idle_since = self.sim.now
+
+    def _hold_claim(self) -> None:
+        """Job done, claim kept: Busy -> Claimed, awaiting reactivation."""
+        if self.state == BUSY:
+            self.sim.metrics.gauge("startd.busy_slots").dec()
+        self.state = CLAIMED
+        self._claim_epoch += 1
+        self._starter = None
+        self.current_job_id = ""
+        self._idle_since = self.sim.now
+        self.claims_held += 1
+        holder = (self.claimed_by or {}).get("schedd_host", "")
+        self._trace("claim_held", by=holder)
+        proc = self.host.spawn(self._claim_watchdog(self._claim_epoch),
+                               name=f"claim-watchdog:{self.startd_name}")
+        self._procs.append(proc)
+
+    def _claim_watchdog(self, epoch: int):
+        yield self.sim.timeout(self.CLAIM_REUSE_TIMEOUT)
+        if self.state == CLAIMED and self._claim_epoch == epoch:
+            self._trace("claim_timeout")
+            self.sim.metrics.counter("startd.claim_timeouts").inc()
+            self._release()
 
     # -- the starter -----------------------------------------------------------
     def _run_starter(self, desc: dict):
@@ -282,21 +324,48 @@ class Startd(Service):
                 beat.kill(cause="job failed")
             self.busy_time += self.sim.now - started
             self._trace("job_failed", job=desc["job_id"], error=str(exc))
+            # Hold the claim *before* reporting the exit: the schedd
+            # reacts to job_exit instantly, and its reactivation must
+            # find the slot Claimed, not still Busy under this starter.
+            held = False
+            if desc.get("keep_claim") and self.state == BUSY:
+                self._hold_claim()
+                held = True
             try:
                 yield from call(self.host, shadow[0], shadow[1],
                                 "job_exit", code=1)
             except RPCError:
                 notify(self.host, shadow[0], shadow[1], "job_exit", code=1)
-            self._release()
+            except Interrupt:
+                pass   # released/vacated mid-report; release below
+            if not held:
+                self._release()
             return
         self.busy_time += self.sim.now - started
+        # Hold the claim *before* reporting the exit: the schedd reacts
+        # to job_exit the instant it arrives, and its reactivation RPC
+        # must find the slot Claimed -- were the hold deferred until
+        # after the reply round-trip, every reuse would race it and
+        # fall back to negotiation.  Once held, _starter is cleared, so
+        # no vacate/release can interrupt the report below.
+        held = False
+        if desc.get("keep_claim") and self.state == BUSY:
+            self._hold_claim()
+            held = True
         try:
             yield from call(self.host, shadow[0], shadow[1], "job_exit",
                             code=code)
         except RPCError:
             notify(self.host, shadow[0], shadow[1], "job_exit", code=code)
+        except Interrupt:
+            # Released or vacated while reporting the exit.  The job
+            # finished either way; do not re-send job_exit -- the
+            # request usually got through and a duplicate would
+            # double-complete -- just hand the slot back below.
+            pass
         self._trace("job_done", job=desc["job_id"])
-        self._release()
+        if not held:
+            self._release()
 
     def _heartbeat_loop(self, shadow):
         """Keep the Shadow's lease alive while an application body runs."""

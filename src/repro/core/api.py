@@ -95,6 +95,7 @@ class CondorGAgent:
         glidein_binaries_url: str = "",
         personal_pool: bool = True,
         negotiation_interval: float = 20.0,
+        claim_reuse: bool = False,
         warn_threshold: float = 3600.0,
         max_submitted_per_resource: Optional[int] = None,
     ):
@@ -133,7 +134,8 @@ class CondorGAgent:
                        cycle_interval=negotiation_interval,
                        credential=None)
             self.schedd = Schedd(host, name=f"schedd@{user}",
-                                 collector=host.name)
+                                 collector=host.name,
+                                 claim_reuse=claim_reuse)
             self.glideins = GlideInManager(
                 self.scheduler, collector_host=host.name,
                 credential_source=credential_source,

@@ -48,6 +48,9 @@ class GlideInSpec:
     binaries_url: str = ""         # GridFTP URL of the condor executables
     arch: str = "INTEL"
     mips: int = 100
+    #: how often each glidein startd re-advertises to the collector;
+    #: large fleets raise this to bound collector traffic
+    advertise_interval: float = 15.0
 
 
 class GlideInManager:
@@ -144,7 +147,7 @@ class GlideInManager:
                 glidein=True,
                 idle_timeout=spec.idle_timeout,
             )
-            startd.ADVERTISE_INTERVAL = 15.0
+            startd.ADVERTISE_INTERVAL = spec.advertise_interval
             manager.live_startds.append(startd)
             ctx.sim.metrics.gauge("glidein.live").inc()
             ctx.sim.metrics.histogram("glidein.binding_delay").observe(

@@ -39,6 +39,9 @@ class JobManager(Service):
 
     COMMIT_WINDOW = 120.0      # abort if no commit arrives in time
     POLL_INTERVAL = 5.0
+    # status replies are built from scratch per call; the inline RPC
+    # path may hand them over without the serialization copy.
+    rpc_fresh_results = ("status",)
 
     def __init__(
         self,

@@ -48,6 +48,11 @@ class AgentSpec:
     proxy_lifetime: float = 12 * 3600.0
     myproxy: bool = False
     personal_pool: bool = True
+    #: personal-pool negotiation cycle period
+    negotiation_interval: float = 20.0
+    #: schedd holds startd claims between jobs and re-matches a
+    #: compatible idle job locally, skipping a negotiation round-trip
+    claim_reuse: bool = False
     warn_threshold: float = 3600.0
     #: client-side fair-share throttle: cap on this user's in-flight
     #: (SUBMITTING/PENDING/ACTIVE) jobs per remote resource

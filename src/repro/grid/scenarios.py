@@ -211,6 +211,77 @@ def scale_glidein_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
     return tb
 
 
+def scale_pool_grid(seed: int = 0, jobs: int = 100_000, n_sites: int = 25,
+                    glideins_per_site: int = 100, warmup: float = 400.0,
+                    advertise_interval: float = 120.0) -> GridTestbed:
+    """The 100k-job pool cell: claim reuse carries the steady state.
+
+    A single personal pool glides into `n_sites` x `glideins_per_site`
+    slots; the job flood arrives *after* a warmup so the first
+    negotiation cycles bind the whole fleet, and from then on every
+    completion re-matches a queued job through the schedd's claim-reuse
+    fast path -- no per-job negotiation round-trips.  Jobs are short
+    (sub-checkpoint-interval) so the measured cost is matchmaking and
+    claim turnover, not execution chatter.
+    """
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=True,
+        trace_max_records=200_000,
+        sites=scale_sites(n_sites, cpus=glideins_per_site),
+        agents=(AgentSpec("scale", claim_reuse=True,
+                          negotiation_interval=30.0),),
+    )
+    tb = GridTestbed.from_config(config)
+    agent = tb.agents["scale"]
+    for site in tb.sites.values():
+        agent.glide_in(site.contact, count=glideins_per_site,
+                       walltime=1_000_000.0, idle_timeout=1_000_000.0,
+                       advertise_interval=advertise_interval)
+    tb.run(until=warmup)
+    for i in range(jobs):
+        agent.submit(JobDescription(executable="mw.exe", universe="vanilla",
+                                    runtime=30.0 + 1.0 * (i % 40)))
+    return tb
+
+
+def kiloclient_grid(seed: int = 0, users: int = 1000,
+                    jobs_per_user: int = 10, n_sites: int = 20,
+                    cpus: int = 50) -> GridTestbed:
+    """The 1000-agent cell: every user runs their own Condor-G agent
+    (scheduler + GridManager + submit machine), spraying a small GRAM
+    workload over shared fair-share sites.  Stresses the many-client
+    side of the system the way scale-100k stresses the many-job side.
+    """
+    return multiuser_gram_grid(
+        seed=seed, users=users, jobs_per_user=jobs_per_user,
+        n_sites=n_sites, cpus=cpus,
+        max_user_jobmanagers=8, max_submitted_per_resource=2)
+
+
+def pool_reuse_grid(seed: int = 0, jobs: int = 40) -> GridTestbed:
+    """A small claim-reuse pool: the chaos/equivalence workout for the
+    collector indexes, negotiator memoization, and reuse protocol."""
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=True,
+        sites=(SiteSpec("wisc", scheduler="pbs", cpus=4,
+                        register_mds=False),
+               SiteSpec("anl", scheduler="lsf", cpus=4,
+                        register_mds=False)),
+        agents=(AgentSpec("dave", claim_reuse=True,
+                          negotiation_interval=15.0),),
+    )
+    tb = GridTestbed.from_config(config)
+    agent = tb.agents["dave"]
+    for site in tb.sites.values():
+        agent.glide_in(site.contact, count=4, walltime=20_000.0,
+                       idle_timeout=3_000.0)
+    tb.run(until=150.0)
+    for i in range(jobs):
+        agent.submit(JobDescription(executable="mw.exe", universe="vanilla",
+                                    runtime=40.0 + 10.0 * (i % 5)))
+    return tb
+
+
 # -- multi-tenant scenarios (benchmarks/bench_multiuser.py) --------------------
 
 def multiuser_sites(n_sites: int = 20, cpus: int = 25,
@@ -333,6 +404,35 @@ register(Scenario(
     cap=200_000.0,
     chunk=5000.0,
     max_faults=2,
+))
+
+register(Scenario(
+    name="scale-100k",
+    description="100k vanilla jobs on a 2500-glidein claim-reuse pool",
+    build=scale_pool_grid,
+    fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+))
+
+register(Scenario(
+    name="kiloclient",
+    description="1000 Condor-G agents x 10 GRAM jobs over 20 sites",
+    build=kiloclient_grid,
+    fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+))
+
+register(Scenario(
+    name="pool-reuse",
+    description="small claim-reuse pool: 40 vanilla jobs on 8 glideins",
+    build=pool_reuse_grid,
+    fault_horizon=1500.0,
+    fault_kinds=("crash", "partition", "isolate"),
+    max_faults=3,
 ))
 
 # Like the scale cells, the multiuser cells are registered for the

@@ -255,6 +255,8 @@ class GridTestbed:
             myproxy=myproxy_cfg,
             glidein_binaries_url=self.binaries_url,
             personal_pool=spec.personal_pool,
+            negotiation_interval=spec.negotiation_interval,
+            claim_reuse=spec.claim_reuse,
             warn_threshold=spec.warn_threshold,
             max_submitted_per_resource=spec.max_submitted_per_resource,
         )

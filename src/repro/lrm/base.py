@@ -154,6 +154,9 @@ class LocalResourceManager(Service):
 
     service_name = "lrm"
     flavor = "generic"
+    # poll builds its dict from scratch (public_view); safe to hand over
+    # uncopied on the inline RPC path.
+    rpc_fresh_results = ("poll",)
 
     def __init__(self, host: Host, slots: int, name: str = ""):
         super().__init__(host, name=name or self.service_name)

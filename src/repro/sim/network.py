@@ -89,6 +89,10 @@ class Network:
         self.sim.trace.log("network", "rejoin", host=host)
 
     def reachable(self, src: str, dst: str) -> bool:
+        # Fully-connected fabrics (the common case) skip the frozenset
+        # allocation; this is the hottest check in the simulator.
+        if not self._isolated and not self._partitions:
+            return True
         if src in self._isolated or dst in self._isolated:
             return False
         return frozenset((src, dst)) not in self._partitions
@@ -105,16 +109,18 @@ class Network:
 
     def _base_latency(self, src: "Host", dst: Optional["Host"],
                       dst_name: str) -> float:
-        override = self._link_latency.get(frozenset((src.name, dst_name)))
-        if override is not None:
-            return override
-        if dst is not None and src.site and dst.site:
+        if self._link_latency:
             override = self._link_latency.get(
-                frozenset((src.site, dst.site)))
+                frozenset((src.name, dst_name)))
             if override is not None:
                 return override
-            if src.site == dst.site:
-                return self.latency * self.lan_factor
+            if dst is not None and src.site and dst.site:
+                override = self._link_latency.get(
+                    frozenset((src.site, dst.site)))
+                if override is not None:
+                    return override
+        if dst is not None and src.site and src.site == dst.site:
+            return self.latency * self.lan_factor
         return self.latency
 
     # -- delivery -------------------------------------------------------------

@@ -25,6 +25,9 @@ _FLAG_NAMES = (
     "fast_copy",
     "scheduler_indexes",
     "idle_poll_sleep",
+    "collector_eq_index",
+    "negotiator_match_memo",
+    "rpc_inline",
 )
 
 
@@ -45,6 +48,19 @@ class PerfFlags:
       on a wake event while they have nothing to watch, instead of
       ticking every interval; tick *phase* is preserved so active-pass
       timing is unchanged.
+    * ``collector_eq_index`` -- the Condor Collector answers
+      attribute-equality constraints (``State == "Unclaimed"``) from
+      per-adtype value buckets instead of evaluating the constraint
+      against every live ad.
+    * ``negotiator_match_memo`` -- the Negotiator memoizes
+      Requirements/Rank evaluation per (job-signature, machine) within
+      a cycle and serves matches from a rank-ordered candidate index
+      instead of a linear ``best_match`` scan per job.
+    * ``rpc_inline`` -- RPCs to plain synchronous handlers skip the
+      Datagram wrappers, full-payload deep-copies and the per-request
+      serve process; the inline path replays the real path's RNG draws,
+      heap positions and failure checks exactly (see
+      :mod:`repro.sim.rpc`).
     """
 
     lazy_trace_index: bool = True
@@ -52,6 +68,9 @@ class PerfFlags:
     fast_copy: bool = True
     scheduler_indexes: bool = True
     idle_poll_sleep: bool = True
+    collector_eq_index: bool = True
+    negotiator_match_memo: bool = True
+    rpc_inline: bool = True
 
 
 def set_all(enabled: bool) -> None:

@@ -43,3 +43,54 @@ def test_usage_decays_over_time():
     assert usage_after_run > 0.0
     sim.run(until=5000.0)
     assert pool.negotiator.usage.get("u1", 0.0) < usage_after_run
+
+
+def test_fully_decayed_usage_entries_are_pruned():
+    sim = Simulator(seed=59)
+    Network(sim, latency=0.02, jitter=0.0)
+    pool = build_pool(sim, "pool", workers=1, cycle_interval=10.0)
+    submit = Host(sim, "s1")
+    schedd = Schedd(submit, name="u1", collector=pool.collector_contact)
+    schedd.submit_simple("u1", runtime=50.0)
+    sim.run(until=500.0)
+    assert pool.negotiator.usage.get("u1", 0.0) > 0.0
+    # half-life is 20 cycles of 10s; a few thousand cycles decays a
+    # usage of ~1 far below the 1e-9 pruning floor
+    sim.run(until=700_000.0)
+    assert "u1" not in pool.negotiator.usage
+
+
+def test_nameless_submitter_ads_are_skipped():
+    from repro.classads import ClassAd
+
+    sim = Simulator(seed=3)
+    Network(sim, latency=0.02, jitter=0.0)
+    pool = build_pool(sim, "pool", workers=1, cycle_interval=10.0)
+    ghost = ClassAd()
+    ghost["Name"] = "ghost"
+    ghost["IdleJobs"] = 3
+    ghost["ScheddHost"] = "nowhere"
+    pool.collector.handle_advertise(None, "submitter", ghost, ttl=100_000.0)
+    # corrupt the stored ad in place: queries now return a nameless ad
+    stored, _expiry = pool.collector._ads[("submitter", "ghost")]
+    del stored["Name"]
+    sim.run(until=100.0)
+    assert pool.negotiator.nameless_skipped >= 1
+    # the old code would have charged usage to the "None" key
+    assert "None" not in pool.negotiator.usage
+
+
+def test_usage_keys_are_submitter_names():
+    sim = Simulator(seed=59)
+    Network(sim, latency=0.02, jitter=0.0)
+    pool = build_pool(sim, "pool", workers=2, cycle_interval=10.0)
+    host_a = Host(sim, "ha")
+    host_b = Host(sim, "hb")
+    a = Schedd(host_a, name="usera", collector=pool.collector_contact)
+    b = Schedd(host_b, name="userb", collector=pool.collector_contact)
+    a.submit_simple("usera", runtime=40.0)
+    b.submit_simple("userb", runtime=40.0)
+    sim.run(until=300.0)
+    assert set(pool.negotiator.usage) <= {"usera", "userb"}
+    assert pool.negotiator.usage.get("usera", 0.0) > 0.0
+    assert pool.negotiator.usage.get("userb", 0.0) > 0.0
