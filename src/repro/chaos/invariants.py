@@ -293,6 +293,91 @@ def check_conservation(tb: "GridTestbed") -> list[Violation]:
     return out
 
 
+def check_replica_integrity(tb: "GridTestbed") -> list[Violation]:
+    """Every replica the catalog advertises really exists and verifies.
+
+    For each catalog entry, each registered (SE, url) mapping must point
+    at a file that is present in that storage element and whose digest
+    matches the catalog's expected checksum.  A corrupted write that
+    slipped past the transfer scheduler's verify-and-retry loop, or a
+    registration for a copy that was never durably placed, shows up
+    here.  Skipped when the testbed has no data services.
+    """
+    catalog = tb.replica_catalog
+    if catalog is None:
+        return []
+    from ..data.catalog import dataset_path
+
+    def live_server(se_host: str):
+        # A crashed-and-rebooted SE runs a *new* GridFTPServer daemon
+        # (boot action) over the same stable file store; Site.se is the
+        # build-time instance and goes stale, so always resolve through
+        # the host's live service registry.
+        host = tb.sim.hosts.get(se_host)
+        if host is None:
+            return None
+        return host.services.get("gridftp")
+
+    out: list[Violation] = []
+    for name in catalog.names():
+        entry = catalog.entry(name)
+        path = dataset_path(name)
+        for se_host in sorted(entry["replicas"]):
+            server = live_server(se_host)
+            if server is None:
+                out.append(Violation(
+                    "replica_integrity",
+                    f"{name} registered at unknown SE {se_host}",
+                    {"dataset": name, "se": se_host}))
+                continue
+            if not server.files.exists(path):
+                out.append(Violation(
+                    "replica_integrity",
+                    f"{name} registered at {se_host} but the file is "
+                    "missing",
+                    {"dataset": name, "se": se_host}))
+                continue
+            actual = server.files.get(path).checksum
+            if entry["checksum"] and actual != entry["checksum"]:
+                out.append(Violation(
+                    "replica_integrity",
+                    f"{name} at {se_host} fails verification "
+                    f"({actual} != {entry['checksum']})",
+                    {"dataset": name, "se": se_host,
+                     "actual": actual,
+                     "expected": entry["checksum"]}))
+    return out
+
+
+def check_durable_outputs(tb: "GridTestbed") -> list[Violation]:
+    """Every DONE job's declared outputs are durably archived somewhere.
+
+    A grid-universe job that declared ``output_datasets`` may only be
+    reported DONE once each output is registered in the replica catalog
+    with at least one live replica -- the §4.2 "don't lie to the user"
+    discipline extended to the data plane.  Skipped when the testbed has
+    no data services.
+    """
+    catalog = tb.replica_catalog
+    if catalog is None:
+        return []
+    out: list[Violation] = []
+    for name, agent in sorted(tb.agents.items()):
+        for job in agent.scheduler.jobs.values():
+            if job.state != JobState.DONE:
+                continue
+            for ds_name, _size in job.request.output_datasets:
+                entry = catalog.entry(ds_name)
+                if entry is None or not entry["replicas"]:
+                    out.append(Violation(
+                        "durable_outputs",
+                        f"{job.job_id} is DONE but output {ds_name!r} "
+                        "has no registered replica",
+                        {"agent": name, "job": job.job_id,
+                         "dataset": ds_name}))
+    return out
+
+
 def _credentialish(reason: str) -> bool:
     low = reason.lower()
     return any(marker in low for marker in _CREDENTIAL_MARKERS)
@@ -309,6 +394,8 @@ INVARIANTS: dict[str, Callable[["GridTestbed"], list[Violation]]] = {
     "credential_hold_notify": check_credential_hold_notify,
     "no_orphan_glideins": check_no_orphan_glideins,
     "conservation": check_conservation,
+    "replica_integrity": check_replica_integrity,
+    "durable_outputs": check_durable_outputs,
 }
 
 

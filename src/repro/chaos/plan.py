@@ -33,7 +33,8 @@ PLAN_VERSION = 1
 
 # Fault kinds a plan may carry.  `duration` is downtime / outage length /
 # delay-until-refresh, depending on the kind.
-KINDS = ("crash", "partition", "isolate", "jm_kill", "proxy_expire")
+KINDS = ("crash", "partition", "isolate", "jm_kill", "proxy_expire",
+         "corrupt")
 
 
 @dataclass(frozen=True)
@@ -160,12 +161,18 @@ def fault_surface(tb: "GridTestbed") -> dict[str, list[str]]:
     pairs = [f"{sub}|{gk}" for sub in submit_hosts for gk in gk_hosts]
     cred_users = sorted(name for name, agent in tb.agents.items()
                         if agent.credmon is not None)
+    # Storage elements (repro.data) crash and get isolated like any
+    # interface machine, and their disks silently corrupt incoming
+    # writes -- the fault the checksum/repair machinery exists for.
+    se_hosts = sorted(site.se_host.name for site in tb.sites.values()
+                      if site.se_host is not None)
     return {
-        "crash": gk_hosts,
+        "crash": gk_hosts + se_hosts,
         "partition": pairs,
-        "isolate": gk_hosts,
+        "isolate": gk_hosts + se_hosts,
         "jm_kill": gk_hosts,
         "proxy_expire": cred_users,
+        "corrupt": se_hosts,
     }
 
 
@@ -185,8 +192,28 @@ def _apply_one(tb: "GridTestbed", ev: PlannedFault) -> None:
         inj.crash_service_at(ev.time, host, "jm:")
     elif ev.kind == "proxy_expire":
         _apply_proxy_expiry(tb, ev)
+    elif ev.kind == "corrupt":
+        _apply_corruption(tb, ev)
     else:
         raise ValueError(f"unknown fault kind {ev.kind!r}")
+
+
+def _apply_corruption(tb: "GridTestbed", ev: PlannedFault) -> None:
+    """Arm an SE's GridFTP server to corrupt its next incoming write.
+
+    Silent data corruption at rest: the next file stored at the target
+    storage element loses its final byte.  The file stays internally
+    consistent (size matches data), but its digest no longer matches the
+    catalog's expected checksum -- the transfer scheduler and stage-out
+    paths must detect that, delete the bad copy, and re-transfer.
+    """
+    def arm() -> None:
+        host = tb.sim.hosts[ev.target]
+        server = host.services.get("gridftp")
+        if server is not None:
+            server.corrupt_next(1)
+
+    tb.failures.custom_at(ev.time, "corrupt", ev.target, arm)
 
 
 def _apply_proxy_expiry(tb: "GridTestbed", ev: PlannedFault) -> None:

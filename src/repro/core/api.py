@@ -55,6 +55,10 @@ class JobDescription:
     output_files: tuple = ()       # scratch file names staged out at end
     exit_code: int = 0
     gcat_mss_url: str = ""         # ship output chunks to this MSS base URL
+    #: logical dataset names to stage to the execution site beforehand
+    input_datasets: tuple = ()
+    #: (name, size) datasets the job produces, archived at the site SE
+    output_datasets: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,7 @@ class JobStatus:
     start_time: Optional[float] = None
     end_time: Optional[float] = None
     attempts: int = 0
+    max_attempts: int = 0
 
     @property
     def is_complete(self) -> bool:
@@ -98,6 +103,7 @@ class CondorGAgent:
         claim_reuse: bool = False,
         warn_threshold: float = 3600.0,
         max_submitted_per_resource: Optional[int] = None,
+        data_services=None,
     ):
         self.host = host
         self.sim = host.sim
@@ -111,7 +117,8 @@ class CondorGAgent:
             host, user, broker=broker,
             credential_source=None,       # wired below once credmon exists
             notifier=self.notifier, userlog=self.userlog,
-            max_submitted_per_resource=max_submitted_per_resource)
+            max_submitted_per_resource=max_submitted_per_resource,
+            data_services=data_services)
 
         if proxy is not None:
             self.credmon = CredentialMonitor(
@@ -191,6 +198,8 @@ class CondorGAgent:
             program=program,
             exit_code=d.exit_code,
             label=d.executable,
+            input_datasets=tuple(d.input_datasets),
+            output_datasets=tuple(tuple(o) for o in d.output_datasets),
         )
         return self.scheduler.submit(request, resource=resource,
                                      job_id=job_id)
@@ -223,7 +232,8 @@ class CondorGAgent:
             resource=job.resource, exit_code=job.exit_code,
             failure_reason=job.failure_reason, hold_reason=job.hold_reason,
             submit_time=job.submit_time, start_time=job.start_time,
-            end_time=job.end_time, attempts=job.attempts)
+            end_time=job.end_time, attempts=job.attempts,
+            max_attempts=job.max_attempts)
 
     def _condor_status(self, job: CondorJob) -> JobStatus:
         return JobStatus(

@@ -32,7 +32,7 @@ from ..sim.errors import (
 )
 from ..sim.hosts import Host
 from ..sim.perf import PerfFlags
-from ..sim.rpc import Service
+from ..sim.rpc import Service, call
 from . import job as J
 from .job import GridJob
 
@@ -67,6 +67,7 @@ class GridManager(Service):
         host: Host,
         credential_source=None,
         max_submitted_per_resource: Optional[int] = None,
+        data_services=None,
     ):
         self.callback_service = f"gramcb:{user}"
         super().__init__(host, name=self.callback_service)
@@ -76,6 +77,10 @@ class GridManager(Service):
         # submissions once overloaded a gatekeeper): never keep more
         # than this many of our jobs in flight per remote resource.
         self.max_submitted_per_resource = max_submitted_per_resource
+        # repro.data wiring (replica catalog + transfer scheduler + the
+        # site -> storage-element map), or None in data-free grids.
+        self.data = data_services
+        self._credential_source = credential_source
         self.client = Gram2Client(host, credential_source=credential_source)
         self.exited = False
         self._wake = self.sim.event(name=f"gm-wake:{user}")
@@ -156,6 +161,10 @@ class GridManager(Service):
             if self.scheduler.broker is not None:
                 job.resource = ""
             return
+        if job.request.input_datasets and self.data is not None:
+            ok = yield from self._stage_inputs_for(job)
+            if not ok:
+                return
         attempt_start = self.sim.now
         job.state = J.SUBMITTING
         job.attempts += 1
@@ -224,6 +233,152 @@ class GridManager(Service):
         self._trace("submitted", job=job.job_id, jmid=job.jmid,
                     resource=job.resource)
 
+    # -- data placement (repro.data) -----------------------------------------
+    def _data_credential(self, audience: str):
+        if self._credential_source is None:
+            return None
+        return self._credential_source(audience)
+
+    def _stage_inputs_for(self, job: GridJob):
+        """Place the job's input datasets at its site's SE.  True = go on
+        to GRAM submission; False = the job left the submission path
+        (failed staging and was resubmitted/failed, or was superseded).
+        """
+        job.state = J.STAGING
+        self.scheduler.persist(job)
+        self.scheduler.log(job, "stage_in", resource=job.resource,
+                           datasets=len(job.request.input_datasets))
+        started = self.sim.now
+        try:
+            staged = yield from self._stage_inputs(job)
+        except (RPCError, RuntimeError) as exc:
+            # Same transient treatment as a remote stage-in failure,
+            # plus a breather so a dead SE/catalog is not hammered.
+            job.attempts += 1
+            job.backoff_until = self.sim.now + 30.0
+            self._remote_failure(job, f"stage-in failed: {exc}")
+            return False
+        if job.state != J.STAGING:
+            return False    # cancelled/held while transfers ran
+        self.sim.metrics.histogram("gridmanager.stage_in_time").observe(
+            self.sim.now - started)
+        if staged:
+            self.sim.metrics.counter("gridmanager.stage_in_bytes").inc(
+                staged, label=job.resource)
+        self._trace("staged_in", job=job.job_id, resource=job.resource,
+                    moved=staged)
+        return True
+
+    def _stage_inputs(self, job: GridJob):
+        """Move each missing input dataset to the site's SE; returns the
+        bytes actually transferred (0 = everything was already local)."""
+        from ..data.catalog import dataset_path
+
+        data = self.data
+        se = data.storage_element(job.resource)
+        if not se:
+            raise RuntimeError(f"no storage element at {job.resource}")
+        moved = 0
+        for name in job.request.input_datasets:
+            entry = yield from call(
+                self.host, data.catalog_host, "rls", "lookup",
+                timeout=30.0,
+                credential=self._data_credential(data.catalog_host),
+                name=name)
+            replicas = entry["replicas"]
+            if se in replicas:
+                self.sim.metrics.counter("gridmanager.stage_in_hits").inc(
+                    label=se)
+                continue
+            if not replicas:
+                raise RuntimeError(f"dataset {name!r} has no replicas")
+            src_se = sorted(replicas)[0]
+            result = yield from call(
+                self.host, data.dts_host, "dts", "transfer",
+                timeout=14_400.0,
+                credential=self._data_credential(data.dts_host),
+                src_url=replicas[src_se], dst_host=se,
+                dst_path=dataset_path(name), dataset=name,
+                expected_checksum=entry["checksum"])
+            moved += result["size"]
+        return moved
+
+    def _stage_out_datasets(self, job: GridJob):
+        """Archive the finished job's output datasets at its site's SE.
+
+        Runs as its own process after the remote DONE: the job sits in
+        STAGING_OUT (non-terminal, so the GridManager stays alive and
+        ``run_until_quiet`` waits) until every output is verified at the
+        SE and registered in the catalog.  Placement retries forever
+        with capped backoff -- the payload already ran to completion, so
+        resubmitting would break exactly-once; durable placement is the
+        only way forward.
+        """
+        from ..data.catalog import dataset_path
+        from ..gass.files import file_digest
+
+        data = self.data
+        se = data.storage_element(job.resource)
+        if not se:
+            # Misconfiguration (dataset job matched to an SE-less site):
+            # don't deadlock the queue -- finish the job and let the
+            # durable_outputs invariant flag the missing archive.
+            self._trace("stage_out_no_se", job=job.job_id,
+                        resource=job.resource)
+            job.state = J.DONE
+            job.end_time = self.sim.now
+            self.scheduler.persist(job)
+            self.scheduler.job_finished(job)
+            self.kick()
+            return
+        for name, size in job.request.output_datasets:
+            size = int(size)
+            path = dataset_path(name)
+            expected = file_digest(path, size, "")
+            backoff = 10.0
+            while not job.is_terminal:
+                try:
+                    yield from call(
+                        self.host, se, "gridftp", "stor", timeout=3600.0,
+                        credential=self._data_credential(se),
+                        path=path, size=size)
+                    actual = yield from call(
+                        self.host, se, "gridftp", "checksum", timeout=60.0,
+                        credential=self._data_credential(se), path=path)
+                    if actual != expected:
+                        self.sim.metrics.counter(
+                            "gridmanager.stage_out_corrupt").inc(label=se)
+                        self._trace("stage_out_corrupt", job=job.job_id,
+                                    dataset=name, se=se)
+                        yield from call(
+                            self.host, se, "gridftp", "delete",
+                            timeout=60.0,
+                            credential=self._data_credential(se),
+                            path=path)
+                        raise RPCError("stage-out checksum mismatch")
+                    yield from call(
+                        self.host, data.catalog_host, "rls", "register",
+                        timeout=60.0,
+                        credential=self._data_credential(
+                            data.catalog_host),
+                        name=name, se_host=se, size=size,
+                        checksum=expected)
+                    self.sim.metrics.counter(
+                        "gridmanager.stage_out_bytes").inc(size, label=se)
+                    break
+                except RPCError:
+                    yield self.sim.timeout(backoff)
+                    backoff = min(backoff * 2.0, 120.0)
+        if job.is_terminal:
+            return    # removed by the user while we were placing outputs
+        job.state = J.DONE
+        job.end_time = self.sim.now
+        self.scheduler.persist(job)
+        self._trace("staged_out", job=job.job_id, resource=job.resource,
+                    datasets=len(job.request.output_datasets))
+        self.scheduler.job_finished(job)
+        self.kick()
+
     def _submission_failed(self, job: GridJob, exc: Exception,
                            phase: str = "phase1") -> None:
         if isinstance(exc, (AuthenticationError, AuthorizationError)):
@@ -262,6 +417,11 @@ class GridManager(Service):
                             exit_code: Optional[int]) -> None:
         if job.is_terminal:
             return
+        if job.state == J.STAGING_OUT:
+            # The remote side already reported DONE; the stage-out
+            # process owns the rest of the lifecycle.  A stale poll
+            # response must not regress the state machine.
+            return
         if state == "PENDING" and job.state != J.PENDING:
             job.state = J.PENDING
             self.scheduler.persist(job)
@@ -271,9 +431,19 @@ class GridManager(Service):
             self.scheduler.persist(job)
             self.scheduler.log(job, "execute", resource=job.resource)
         elif state == "DONE":
+            job.exit_code = exit_code if exit_code is not None else 0
+            if job.request.output_datasets and self.data is not None:
+                # Archive declared outputs at the site's storage element
+                # before the job is allowed to go terminal.
+                job.state = J.STAGING_OUT
+                self.scheduler.persist(job)
+                self.scheduler.log(job, "stage_out", resource=job.resource,
+                                   datasets=len(job.request.output_datasets))
+                self.host.spawn(self._stage_out_datasets(job),
+                                name=f"stageout:{job.job_id}")
+                return
             job.state = J.DONE
             job.end_time = self.sim.now
-            job.exit_code = exit_code if exit_code is not None else 0
             self.scheduler.persist(job)
             self.scheduler.job_finished(job)
             self.kick()

@@ -28,9 +28,11 @@ from ..states import JobState
 # Module-level aliases: the enum members compare and serialize exactly
 # like the string literals they replace (see repro.states).
 UNSUBMITTED = JobState.UNSUBMITTED
+STAGING = JobState.STAGING
 SUBMITTING = JobState.SUBMITTING
 PENDING = JobState.PENDING
 ACTIVE = JobState.ACTIVE
+STAGING_OUT = JobState.STAGING_OUT
 DONE = JobState.DONE
 FAILED = JobState.FAILED
 HELD = JobState.HELD
@@ -120,4 +122,13 @@ class GridJob:
             # reconnect via jmid; otherwise the same seq is retried and
             # the uncommitted remote JobManager (if any) aborts itself.
             job.state = PENDING if job.committed else UNSUBMITTED
+        elif job.state == STAGING:
+            # Input staging is idempotent (replicas already placed are
+            # found in the catalog and skipped), so just start over.
+            job.state = UNSUBMITTED
+        elif job.state == STAGING_OUT:
+            # The remote run finished; reconnecting via jmid re-reports
+            # DONE and re-runs the (idempotent) output placement.
+            job.state = PENDING if (job.committed and job.jmid) \
+                else UNSUBMITTED
         return job

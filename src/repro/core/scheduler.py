@@ -40,12 +40,17 @@ class CondorGScheduler:
         userlog: Optional[UserLog] = None,
         recover: bool = True,
         max_submitted_per_resource: Optional[int] = None,
+        data_services=None,
     ):
         self.host = host
         self.sim = host.sim
         self.user = user
         self.broker = broker
         self.credential_source = credential_source
+        # Data-management wiring (repro.data.DataServices) or None; the
+        # GridManager stages input datasets / places output datasets
+        # through these services when a job declares any.
+        self.data_services = data_services
         # Fair-share throttle: cap this user's in-flight jobs
         # (SUBMITTING/PENDING/ACTIVE) per remote resource, so one agent
         # cannot monopolize a gatekeeper in a multi-tenant grid.
@@ -119,8 +124,9 @@ class CondorGScheduler:
         # maintained unconditionally, like the other indexes, so legacy
         # and perf mode throttle identically.
         res = job.resource if (job.resource and not job.is_terminal
-                               and job.state in (J.SUBMITTING, J.PENDING,
-                                                 J.ACTIVE)) else ""
+                               and job.state in (J.STAGING, J.SUBMITTING,
+                                                 J.PENDING, J.ACTIVE)) \
+            else ""
         old_res = self._inflight_res.get(jid, "")
         if old_res != res:
             if old_res:
@@ -176,7 +182,8 @@ class CondorGScheduler:
             self.gridmanager = GridManager(
                 self, self.user, self.host,
                 credential_source=self.credential_source,
-                max_submitted_per_resource=self.max_submitted_per_resource)
+                max_submitted_per_resource=self.max_submitted_per_resource,
+                data_services=self.data_services)
 
     def _check_user(self, user: Optional[str], method: str) -> None:
         """Deprecation shim for the redundant per-user `user` args.

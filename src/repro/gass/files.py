@@ -4,28 +4,50 @@ File *content* is modelled as a (possibly empty) string plus an explicit
 size in bytes, so large transfers can be represented without large
 strings: executables and physics datasets carry only a size, while
 stdout/stderr streams carry real text (benchmarks assert on both).
+
+Every file carries a deterministic ``checksum`` over ``(path, size,
+data)``.  Transfer services (GridFTP third-party fetch, the
+TransferScheduler in :mod:`repro.data`) compare the checksum of an
+arrived copy against the expected one to detect truncated or corrupted
+replicas; the chaos invariants audit the same property post-mortem.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass
+
+
+def file_digest(path: str, size: int, data: str) -> str:
+    """Deterministic short digest of a file's identity and content."""
+    h = hashlib.sha256(f"{path}|{size}|{data}".encode())
+    return h.hexdigest()[:16]
 
 
 @dataclass
 class SimFile:
-    """A named blob with a size and optional literal content."""
+    """A named blob with a size, optional literal content and a checksum."""
 
     path: str
     size: int = 0
     data: str = ""
+    checksum: str = ""
 
     def __post_init__(self) -> None:
         if self.data and self.size == 0:
             self.size = len(self.data)
+        if self.size < 0:
+            raise ValueError(f"negative size for {self.path!r}: {self.size}")
+        if self.data and self.size != len(self.data):
+            raise ValueError(
+                f"size/data mismatch for {self.path!r}: "
+                f"size={self.size} but len(data)={len(self.data)}")
+        self.checksum = file_digest(self.path, self.size, self.data)
 
     def append(self, text: str) -> None:
         self.data += text
         self.size += len(text)
+        self.checksum = file_digest(self.path, self.size, self.data)
 
 
 class FileStore:
@@ -36,6 +58,10 @@ class FileStore:
         self._stable = stable_ns
         if stable_ns is not None:
             for path, record in stable_ns.items():
+                record = dict(record)
+                # Records written before checksums existed rehydrate fine:
+                # __post_init__ recomputes the digest either way.
+                record.pop("checksum", None)
                 self._files[path] = SimFile(**record)
 
     def put(self, file: SimFile) -> None:
@@ -71,4 +97,5 @@ class FileStore:
     def _persist(self, f: SimFile) -> None:
         if self._stable is not None:
             self._stable.put(f.path, {"path": f.path, "size": f.size,
-                                      "data": f.data})
+                                      "data": f.data,
+                                      "checksum": f.checksum})

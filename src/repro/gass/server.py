@@ -71,18 +71,37 @@ class GassServer(Service):
             return self.sim.timeout(nbytes / self.bandwidth)
         return self.sim.timeout(0.0)
 
+    def _account(self, direction: str, nbytes: int, peer: str) -> None:
+        m = self.sim.metrics
+        m.counter(f"gass.bytes_{direction}").inc(nbytes,
+                                                 label=self.host.name)
+        m.counter("gass.transfers").inc(label=peer)
+
+    @property
+    def bytes_sent(self) -> int:
+        counter = self.sim.metrics.counter("gass.bytes_sent")
+        return int(counter.labelled(self.host.name))
+
+    @property
+    def bytes_received(self) -> int:
+        counter = self.sim.metrics.counter("gass.bytes_received")
+        return int(counter.labelled(self.host.name))
+
     # -- handlers -----------------------------------------------------------
     def handle_get(self, ctx, path: str):
         f = self.files.get(path)
         yield self._pay(f.size)
+        self._account("sent", f.size, ctx.caller_host)
         self.sim.trace.log(f"gass:{self.host.name}", "get", path=path,
                            size=f.size, to=ctx.caller_host)
-        return {"path": f.path, "size": f.size, "data": f.data}
+        return {"path": f.path, "size": f.size, "data": f.data,
+                "checksum": f.checksum}
 
     def handle_put(self, ctx, path: str, size: int = 0, data: str = ""):
         f = SimFile(path, size=size, data=data)
         yield self._pay(f.size)
         self.files.put(f)
+        self._account("received", f.size, ctx.caller_host)
         self.sim.trace.log(f"gass:{self.host.name}", "put", path=path,
                            size=f.size)
         return f.size
@@ -104,6 +123,7 @@ class GassServer(Service):
         yield self._pay(len(data))
         f = self.files.append(path, data)
         if data:
+            self._account("received", len(data), ctx.caller_host)
             self.sim.trace.log(f"gass:{self.host.name}", "append",
                                path=path, size=len(data), total=f.size)
         return f.size

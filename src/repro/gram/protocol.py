@@ -61,6 +61,12 @@ class GramJobRequest:
     stderr_url: str = ""
     # remote file name -> client GASS URL, staged out on completion
     output_files: dict = field(default_factory=dict)
+    # logical dataset names the job reads; the GridManager stages them
+    # to the site's storage element before GRAM submission (repro.data)
+    input_datasets: tuple = ()
+    # (name, size) pairs the job produces; placed at the site's storage
+    # element and registered in the replica catalog on terminal success
+    output_datasets: tuple = ()
     runtime: float = 1.0
     walltime: Optional[float] = None
     cpus: int = 1

@@ -37,6 +37,23 @@ class SiteSpec:
     max_user_jobmanagers: Optional[int] = None
     #: extra keyword arguments for the LRM flavor (e.g. Condor-pool knobs)
     lrm_options: dict[str, Any] = field(default_factory=dict)
+    #: storage-element GridFTP bandwidth in bytes/s (None = no SE at
+    #: this site; dataset jobs cannot be staged here)
+    storage: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One logical dataset pre-placed on the grid at t=0.
+
+    ``replicas`` names the sites (by :class:`SiteSpec` name) whose
+    storage elements start out holding a copy; the replica catalog is
+    seeded to match.
+    """
+
+    name: str
+    size: int = 1_000_000
+    replicas: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -44,7 +61,7 @@ class AgentSpec:
     """One user's desktop agent (the user is created implicitly)."""
 
     name: str
-    broker_kind: str = ""          # "" | "userlist" | "mds" | "queue-aware"
+    broker_kind: str = ""   # "" | "userlist" | "mds" | "queue-aware" | "data-aware"
     proxy_lifetime: float = 12 * 3600.0
     myproxy: bool = False
     personal_pool: bool = True
@@ -82,6 +99,13 @@ class TestbedConfig:
     sites: tuple[SiteSpec, ...] = ()
     agents: tuple[AgentSpec, ...] = ()
     extra_users: tuple[str, ...] = ()
+    #: logical datasets pre-placed at t=0; non-empty (or any site with
+    #: ``storage``) brings up the replica catalog + transfer scheduler
+    datasets: tuple[DatasetSpec, ...] = ()
+    #: WAN bandwidth the transfer scheduler paces each SE->SE link to
+    data_link_bandwidth: float = 5_000_000.0
+    #: concurrent third-party streams allowed per SE->SE link
+    data_max_streams: int = 2
 
     def with_seed(self, seed: int) -> "TestbedConfig":
         """The same topology under a different seed (scenario builders)."""
@@ -92,3 +116,6 @@ class TestbedConfig:
 
     def with_agents(self, *agents: AgentSpec) -> "TestbedConfig":
         return replace(self, agents=self.agents + agents)
+
+    def with_datasets(self, *datasets: DatasetSpec) -> "TestbedConfig":
+        return replace(self, datasets=self.datasets + datasets)

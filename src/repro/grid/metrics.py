@@ -252,6 +252,48 @@ def user_rollup(tb: "GridTestbed") -> dict[str, dict]:
     return out
 
 
+def data_rollup(tb: "GridTestbed") -> dict:
+    """One table for the data plane of a run (repro.data).
+
+    Joins the transfer scheduler's per-link counters, the replica
+    catalog's verb counters, the GridManagers' staging counters, and the
+    catalog's final replica map.  Empty-ish when the testbed has no data
+    services.
+    """
+    metrics = tb.sim.metrics
+
+    def labels_of(name: str) -> dict:
+        c = metrics.get(name)
+        return dict(sorted(c.labels.items())) if c is not None else {}
+
+    def total_of(name: str) -> float:
+        c = metrics.get(name)
+        return c.value if c is not None else 0.0
+
+    replicas: dict[str, int] = {}
+    if tb.replica_catalog is not None:
+        for name in tb.replica_catalog.names():
+            entry = tb.replica_catalog.entry(name)
+            replicas[name] = len(entry["replicas"])
+    return {
+        "bytes_moved": total_of("dts.bytes_moved"),
+        "bytes_moved_by_link": labels_of("dts.bytes_moved"),
+        "transfers": total_of("dts.transfers"),
+        "transfer_retries": total_of("dts.retries"),
+        "transfer_failures": total_of("dts.failures"),
+        "checksum_mismatches": total_of("dts.checksum_mismatch"),
+        "catalog_lookups": labels_of("catalog.lookups"),
+        "catalog_registrations": total_of("catalog.registrations"),
+        "catalog_invalidations": total_of("catalog.invalidations"),
+        "stage_in_bytes": total_of("gridmanager.stage_in_bytes"),
+        "stage_in_hits": total_of("gridmanager.stage_in_hits"),
+        "stage_out_bytes": total_of("gridmanager.stage_out_bytes"),
+        "stage_out_corrupt": total_of("gridmanager.stage_out_corrupt"),
+        "broker_locality": labels_of("broker.data_locality"),
+        "replica_counts": replicas,
+    }
+
+
 def grid_cost_report(tb: "GridTestbed") -> dict:
     """§1 cost reports for every agent, plus grid-wide totals.
 

@@ -17,8 +17,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.api import JobDescription
+from ..workloads.cms import DataCMSConfig, build_data_cms_jobs, \
+    data_cms_dataset_sizes
 from ..workloads.synthetic import saturate
-from .config import AgentSpec, SiteSpec, TestbedConfig
+from .config import AgentSpec, DatasetSpec, SiteSpec, TestbedConfig
 from .testbed import GridTestbed
 
 
@@ -282,6 +284,67 @@ def pool_reuse_grid(seed: int = 0, jobs: int = 40) -> GridTestbed:
     return tb
 
 
+# -- data-aware scenarios (benchmarks/bench_data.py) ---------------------------
+
+_DATA_SITE_NAMES = ("caltech", "wisc", "ncsa")
+
+#: transfer-cost dominated: big event files, short reconstruction
+STAGING_BOUND_CMS = DataCMSConfig(
+    n_jobs=24, n_run_datasets=6,
+    run_size=60_000_000, calibration_size=20_000_000,
+    reco_seconds=120.0)
+
+#: compute dominated: small inputs, long reconstruction
+COMPUTE_BOUND_CMS = DataCMSConfig(
+    n_jobs=24, n_run_datasets=6,
+    run_size=2_000_000, calibration_size=1_000_000,
+    reco_seconds=1200.0)
+
+
+def data_cms_config(cms: DataCMSConfig,
+                    broker_kind: str = "data-aware",
+                    seed: int = 0) -> TestbedConfig:
+    """Three storage-equipped sites + the dataset-driven CMS workload.
+
+    Calibration constants start out only at the first site; the run
+    files are spread round-robin, so any placement that ignores replica
+    locality must haul most of its inputs across the WAN.
+    """
+    sites = tuple(
+        SiteSpec(name, scheduler=_SCALE_SCHEDULERS[i],
+                 cpus=4, register_mds=False, storage=25_000_000.0)
+        for i, name in enumerate(_DATA_SITE_NAMES))
+    datasets = []
+    for j, (name, size) in enumerate(data_cms_dataset_sizes(cms)):
+        if name == cms.calibration_name:
+            home = _DATA_SITE_NAMES[0]
+        else:
+            home = _DATA_SITE_NAMES[j % len(_DATA_SITE_NAMES)]
+        datasets.append(DatasetSpec(name, size=size, replicas=(home,)))
+    return TestbedConfig(
+        seed=seed, with_mds=False, with_repo=False,
+        sites=sites, datasets=tuple(datasets),
+        data_link_bandwidth=2_000_000.0, data_max_streams=2,
+        agents=(AgentSpec("phys", broker_kind=broker_kind,
+                          personal_pool=False),),
+    )
+
+
+def data_cms_grid(seed: int = 0, cms: DataCMSConfig = STAGING_BOUND_CMS,
+                  broker_kind: str = "data-aware") -> GridTestbed:
+    """The dataset-driven CMS reconstruction pass, broker-placed."""
+    tb = GridTestbed.from_config(data_cms_config(cms, broker_kind), seed)
+    agent = tb.agents["phys"]
+    for description in build_data_cms_jobs(cms):
+        agent.submit(description)
+    return tb
+
+
+def data_cms_compute_grid(seed: int = 0) -> GridTestbed:
+    """Compute-bound sibling of ``data-cms`` (same topology/catalog)."""
+    return data_cms_grid(seed, cms=COMPUTE_BOUND_CMS)
+
+
 # -- multi-tenant scenarios (benchmarks/bench_multiuser.py) --------------------
 
 def multiuser_sites(n_sites: int = 20, cpus: int = 25,
@@ -438,6 +501,25 @@ register(Scenario(
 # Like the scale cells, the multiuser cells are registered for the
 # benchmark suite and explicit `--scenarios multiuser-*` chaos runs, not
 # for DEFAULT_SCENARIOS.
+
+register(Scenario(
+    name="data-cms",
+    description="dataset-driven CMS reco: 24 staging-bound jobs, "
+                "3 storage sites, data-aware broker",
+    build=data_cms_grid,
+    fault_horizon=2500.0,
+    fault_kinds=("crash", "partition", "isolate", "corrupt"),
+    max_faults=3,
+))
+
+register(Scenario(
+    name="data-cms-compute",
+    description="compute-bound sibling of data-cms (same catalog)",
+    build=data_cms_compute_grid,
+    fault_horizon=2500.0,
+    fault_kinds=("crash", "partition", "isolate", "corrupt"),
+    max_faults=3,
+))
 
 register(Scenario(
     name="multiuser-gram",

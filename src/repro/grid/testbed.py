@@ -20,6 +20,11 @@ from ..condor.jobs import reset_cluster_ids
 from ..core.api import CondorGAgent
 from ..core.broker import Broker, MDSBroker, QueueAwareBroker, UserListBroker
 from ..core.job import reset_grid_job_ids
+from ..data.broker import DataAwareBroker
+from ..data.catalog import CATALOG_HOST, ReplicaCatalog, dataset_path
+from ..data.services import DataServices
+from ..data.transfer import DTS_HOST, TransferScheduler
+from ..gass.files import SimFile
 from ..gram.gatekeeper import Gatekeeper
 from ..gridftp.server import GridFTPServer
 from ..gsi.auth import GridMap, GSIAuthorizer
@@ -58,6 +63,10 @@ class Site:
     memory: int = 512
     allocation_cost: float = 0.0
     registrar: Optional[ResourceRegistrar] = None
+    #: the site's storage element (repro.data), if configured
+    se_host: Optional[Host] = None
+    se: Optional[GridFTPServer] = None
+    storage: Optional[float] = None
 
     @property
     def contact(self) -> str:
@@ -122,6 +131,9 @@ class GridTestbed:
         self.giis: Optional[GIIS] = None
         self.repo: Optional[GridFTPServer] = None
         self.myproxy: Optional[MyProxyServer] = None
+        self.data_services: Optional[DataServices] = None
+        self.replica_catalog: Optional[ReplicaCatalog] = None
+        self.transfer_scheduler: Optional[TransferScheduler] = None
         if config.with_mds:
             self.giis = GIIS(Host(self.sim, GIIS_HOST))
         if config.with_repo:
@@ -134,6 +146,7 @@ class GridTestbed:
         # site contacts), then plain users, then agents.
         for site_spec in config.sites:
             self.add_site(site_spec)
+        self._seed_datasets(config.datasets)
         for user_name in config.extra_users:
             self.add_user(user_name)
         for agent_spec in config.agents:
@@ -185,12 +198,60 @@ class GridTestbed:
                     lrm=lrm, gatekeeper=gatekeeper, gridmap=gridmap,
                     cpus=spec.cpus, arch=spec.arch, memory=spec.memory,
                     allocation_cost=spec.allocation_cost)
+        if spec.storage:
+            # The site's storage element: a persistent GridFTP server on
+            # its own machine, so gatekeeper crashes never lose data.
+            self._ensure_data_services()
+            site.se_host = Host(self.sim, f"{name}-se", site=name)
+            site.se = GridFTPServer(site.se_host, bandwidth=spec.storage)
+            site.storage = spec.storage
+            self.data_services.se_of[gk_host.name] = site.se_host.name
         if spec.register_mds and self.giis is not None:
             site.registrar = ResourceRegistrar(
                 gk_host, GIIS_HOST, lambda s=site: self._site_ad(s),
                 interval=spec.mds_interval, ttl=spec.mds_interval * 2.5)
         self.sites[name] = site
         return site
+
+    # -- data services (repro.data) -------------------------------------------
+    def _ensure_data_services(self) -> None:
+        """Bring up the replica catalog + transfer scheduler once, the
+        first time anything needs them (a site with storage)."""
+        if self.data_services is not None:
+            return
+        config = self.config
+        self.data_services = DataServices(
+            catalog_host=CATALOG_HOST, dts_host=DTS_HOST,
+            link_bandwidth=config.data_link_bandwidth)
+        self.replica_catalog = ReplicaCatalog(
+            Host(self.sim, CATALOG_HOST))
+        self.transfer_scheduler = TransferScheduler(
+            Host(self.sim, DTS_HOST),
+            catalog_host=CATALOG_HOST,
+            link_bandwidth=config.data_link_bandwidth,
+            max_streams=config.data_max_streams)
+
+    def _seed_datasets(self, datasets) -> None:
+        """Pre-place each dataset's replicas at t=0 (direct file puts,
+        no RPC, no bandwidth) and seed the catalog to match."""
+        for ds in datasets:
+            path = dataset_path(ds.name)
+            replicas: dict[str, str] = {}
+            checksum = SimFile(path, size=ds.size).checksum
+            for site_name in ds.replicas:
+                site = self.sites.get(site_name)
+                if site is None or site.se is None:
+                    raise ValueError(
+                        f"dataset {ds.name!r} names replica site "
+                        f"{site_name!r}, which has no storage element")
+                site.se.files.put(SimFile(path, size=ds.size))
+                replicas[site.se_host.name] = site.se.url(path)
+            if self.replica_catalog is None:
+                raise ValueError(
+                    f"dataset {ds.name!r} configured but no site has "
+                    "storage (set SiteSpec.storage)")
+            self.replica_catalog.seed(ds.name, ds.size, checksum,
+                                      replicas=replicas)
 
     def _site_ad(self, site: Site):
         info = site.lrm.queue_info()
@@ -259,6 +320,7 @@ class GridTestbed:
             claim_reuse=spec.claim_reuse,
             warn_threshold=spec.warn_threshold,
             max_submitted_per_resource=spec.max_submitted_per_resource,
+            data_services=self.data_services,
         )
         # Brokers that talk to GSI-protected services need the user's
         # credential; wire it in once the credential monitor exists.
@@ -277,6 +339,14 @@ class GridTestbed:
         if kind == "queue-aware":
             return QueueAwareBroker(
                 host, [s.contact for s in self.sites.values()], **kwargs)
+        if kind == "data-aware":
+            if self.data_services is None:
+                raise ValueError(
+                    "data-aware broker needs data services; give at "
+                    "least one site SiteSpec.storage")
+            return DataAwareBroker(
+                host, [s.contact for s in self.sites.values()],
+                self.data_services, **kwargs)
         raise ValueError(f"unknown broker kind {kind!r}")
 
     @property

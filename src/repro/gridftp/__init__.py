@@ -11,6 +11,8 @@ URLs: ``gsiftp://<host>/<path>``.  The service name on a host is always
 
 from .server import GridFTPServer, make_gsiftp_url, parse_gsiftp_url
 from .client import (
+    gridftp_checksum,
+    gridftp_delete,
     gridftp_get,
     gridftp_put,
     gridftp_size,
@@ -18,6 +20,7 @@ from .client import (
 )
 
 __all__ = [
-    "GridFTPServer", "gridftp_get", "gridftp_put", "gridftp_size",
-    "make_gsiftp_url", "parse_gsiftp_url", "third_party_transfer",
+    "GridFTPServer", "gridftp_checksum", "gridftp_delete", "gridftp_get",
+    "gridftp_put", "gridftp_size", "make_gsiftp_url", "parse_gsiftp_url",
+    "third_party_transfer",
 ]

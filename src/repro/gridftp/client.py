@@ -32,6 +32,24 @@ def gridftp_size(src: Host, url: str, credential=None,
     return result
 
 
+def gridftp_checksum(src: Host, url: str, credential=None,
+                     timeout: float = 60.0):
+    host, path = parse_gsiftp_url(url)
+    result = yield from call(src, host, "gridftp", "checksum",
+                             timeout=timeout, credential=credential,
+                             path=path)
+    return result
+
+
+def gridftp_delete(src: Host, url: str, credential=None,
+                   timeout: float = 60.0):
+    host, path = parse_gsiftp_url(url)
+    result = yield from call(src, host, "gridftp", "delete",
+                             timeout=timeout, credential=credential,
+                             path=path)
+    return result
+
+
 def third_party_transfer(src: Host, from_url: str, to_url: str,
                          credential=None, timeout: float = 1200.0):
     """Ask the destination server to pull `from_url` (data bypasses us).

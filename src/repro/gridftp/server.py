@@ -41,8 +41,7 @@ class GridFTPServer(Service):
         stable_ns = host.stable.namespace("gridftp") if persistent else None
         self.files = FileStore(stable_ns)
         self.bandwidth = bandwidth
-        self.bytes_sent = 0
-        self.bytes_received = 0
+        self._corrupt_pending = 0
         if restart_on_boot:
             # The server daemon comes back with the machine (init script);
             # its file store is rebuilt from the same on-disk namespace.
@@ -58,20 +57,65 @@ class GridFTPServer(Service):
             return self.sim.timeout(nbytes / self.bandwidth)
         return self.sim.timeout(0.0)
 
+    # -- accounting ----------------------------------------------------------
+    # Totals live in the simulator's MetricsRegistry (split by server host
+    # and by peer) so grid.metrics rollups can read them; the properties
+    # keep the old `server.bytes_sent` attribute API working.
+
+    def _account(self, direction: str, nbytes: int, peer: str) -> None:
+        m = self.sim.metrics
+        m.counter(f"gridftp.bytes_{direction}").inc(nbytes,
+                                                    label=self.host.name)
+        m.counter("gridftp.transfers").inc(label=peer)
+
+    @property
+    def bytes_sent(self) -> int:
+        counter = self.sim.metrics.counter("gridftp.bytes_sent")
+        return int(counter.labelled(self.host.name))
+
+    @property
+    def bytes_received(self) -> int:
+        counter = self.sim.metrics.counter("gridftp.bytes_received")
+        return int(counter.labelled(self.host.name))
+
+    # -- chaos hook ----------------------------------------------------------
+    def corrupt_next(self, n: int = 1) -> None:
+        """Silently truncate the next `n` inbound stores by one byte.
+
+        Models a bad disk/NIC: the stored copy is self-consistent (its
+        own checksum matches its bytes) but no longer matches the
+        checksum the sender advertised, so verification catches it.
+        """
+        self._corrupt_pending += n
+
+    def _maybe_corrupt(self, f: SimFile) -> SimFile:
+        if self._corrupt_pending <= 0 or f.size == 0:
+            return f
+        self._corrupt_pending -= 1
+        damaged = SimFile(f.path, size=f.size - 1,
+                          data=f.data[:-1] if f.data else "")
+        self.sim.metrics.counter("gridftp.corruptions").inc(
+            label=self.host.name)
+        self.sim.trace.log(f"gridftp:{self.host.name}", "corrupted",
+                           path=f.path, size=damaged.size)
+        return damaged
+
     # -- handlers -----------------------------------------------------------
     def handle_retr(self, ctx, path: str):
         f = self.files.get(path)
         yield self._pay(f.size)
-        self.bytes_sent += f.size
+        self._account("sent", f.size, ctx.caller_host)
         self.sim.trace.log(f"gridftp:{self.host.name}", "retr", path=path,
                            size=f.size, to=ctx.caller_host)
-        return {"path": f.path, "size": f.size, "data": f.data}
+        return {"path": f.path, "size": f.size, "data": f.data,
+                "checksum": f.checksum}
 
     def handle_stor(self, ctx, path: str, size: int = 0, data: str = ""):
         f = SimFile(path, size=size, data=data)
         yield self._pay(f.size)
+        f = self._maybe_corrupt(f)
         self.files.put(f)
-        self.bytes_received += f.size
+        self._account("received", f.size, ctx.caller_host)
         self.sim.trace.log(f"gridftp:{self.host.name}", "stor", path=path,
                            size=f.size, source=ctx.caller_host)
         return f.size
@@ -80,6 +124,16 @@ class GridFTPServer(Service):
         if not self.files.exists(path):
             raise FileNotFoundError(path)
         return self.files.get(path).size
+
+    def handle_checksum(self, ctx, path: str) -> str:
+        if not self.files.exists(path):
+            raise FileNotFoundError(path)
+        return self.files.get(path).checksum
+
+    def handle_delete(self, ctx, path: str) -> bool:
+        existed = self.files.exists(path)
+        self.files.delete(path)
+        return existed
 
     def handle_list(self, ctx) -> list[str]:
         return self.files.list()
@@ -95,8 +149,12 @@ class GridFTPServer(Service):
                                  timeout=600.0, credential=ctx.credential,
                                  path=src_path)
         f = SimFile(dst_path, size=result["size"], data=result["data"])
+        # Inbound side pays its own pipe too: a third-party move costs
+        # source-side *and* destination-side bandwidth.
+        yield self._pay(f.size)
+        f = self._maybe_corrupt(f)
         self.files.put(f)
-        self.bytes_received += f.size
+        self._account("received", f.size, src_host)
         self.sim.trace.log(f"gridftp:{self.host.name}", "third_party",
                            src=src_url, dst=dst_path, size=f.size)
         return f.size

@@ -22,11 +22,14 @@ import enum
 class JobState(str, enum.Enum):
     """Every job state across the grid-queue, pool, and LRM layers."""
 
-    # Condor-G grid queue (paper §4.2 state machine)
+    # Condor-G grid queue (paper §4.2 state machine, plus the
+    # data-placement phases from repro.data)
     UNSUBMITTED = "UNSUBMITTED"
+    STAGING = "STAGING"           # inputs moving to the chosen site's SE
     SUBMITTING = "SUBMITTING"
     PENDING = "PENDING"
     ACTIVE = "ACTIVE"
+    STAGING_OUT = "STAGING_OUT"   # remote DONE; outputs being placed
     DONE = "DONE"
     FAILED = "FAILED"
     HELD = "HELD"

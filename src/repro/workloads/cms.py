@@ -156,3 +156,63 @@ def build_cms_dag(config: CMSConfig) -> tuple[Dag, CMSBookkeeping]:
     dag.add_dependency([f"sim{i}" for i in range(config.n_simulation_jobs)],
                        "reco")
     return dag, books
+
+
+# -- dataset-driven reconstruction (repro.data) --------------------------------
+
+@dataclass(frozen=True)
+class DataCMSConfig:
+    """The reconstruction pass as a *data-driven* workload.
+
+    Instead of shipping event files imperatively from POST scripts, the
+    runs live in the replica catalog as logical datasets and every
+    reconstruction job *declares* what it reads and writes; placement
+    (which site, which transfers) is the data-aware broker's problem.
+    """
+
+    n_jobs: int = 24
+    n_run_datasets: int = 6           # event files, shared round-robin
+    run_size: int = 4_000_000         # bytes per event file
+    calibration_size: int = 2_000_000  # calibration constants, read by all
+    reco_seconds: float = 300.0       # runtime of one reconstruction job
+    output_size: int = 200_000        # reconstructed output per job
+
+    @property
+    def calibration_name(self) -> str:
+        return "cms-cal"
+
+    def run_name(self, index: int) -> str:
+        return f"cms-run{index}"
+
+
+def data_cms_dataset_sizes(config: DataCMSConfig) -> list[tuple[str, int]]:
+    """(name, size) of every input dataset the workload reads.
+
+    The scenario builder turns these into :class:`DatasetSpec` values by
+    choosing home sites for the initial replicas.
+    """
+    out = [(config.calibration_name, config.calibration_size)]
+    out.extend((config.run_name(i), config.run_size)
+               for i in range(config.n_run_datasets))
+    return out
+
+
+def build_data_cms_jobs(config: DataCMSConfig) -> list[JobDescription]:
+    """One JobDescription per reconstruction job, resource unbound.
+
+    Job *i* reads the shared calibration constants plus run file
+    ``i % n_run_datasets``, and archives one output dataset.  Submitted
+    with no resource so the broker owns placement -- the point of the
+    exercise is whether it exploits replica locality.
+    """
+    jobs = []
+    for i in range(config.n_jobs):
+        run = config.run_name(i % config.n_run_datasets)
+        jobs.append(JobDescription(
+            executable="cmsreco",
+            runtime=config.reco_seconds,
+            input_size=50_000,
+            input_datasets=(config.calibration_name, run),
+            output_datasets=((f"cms-reco{i}", config.output_size),),
+        ))
+    return jobs

@@ -1,0 +1,104 @@
+"""Data-aware broker: locality scoring against live testbeds."""
+
+import pytest
+
+from repro.core.api import JobDescription
+from repro.data.broker import DataAwareBroker
+from repro.grid.config import AgentSpec, DatasetSpec, SiteSpec, \
+    TestbedConfig
+from repro.grid.testbed import GridTestbed
+from repro.workloads.synthetic import saturate
+
+
+def build_tb(broker_kind="data-aware", beta_storage=25_000_000.0):
+    """Two storage-equipped idle sites; dataset d1 lives at alpha."""
+    config = TestbedConfig(
+        seed=5, with_mds=False, with_repo=False,
+        sites=(SiteSpec("alpha", scheduler="pbs", cpus=2,
+                        register_mds=False, storage=25_000_000.0),
+               SiteSpec("beta", scheduler="lsf", cpus=2,
+                        register_mds=False, storage=beta_storage)),
+        datasets=(DatasetSpec("d1", size=4_000_000, replicas=("alpha",)),),
+        data_link_bandwidth=1_000_000.0,
+        agents=(AgentSpec("u", broker_kind=broker_kind,
+                          personal_pool=False),),
+    )
+    return GridTestbed.from_config(config)
+
+
+def test_broker_prefers_replica_site():
+    """Both sites idle: the only signal is where d1 already lives."""
+    tb = build_tb()
+    agent = tb.agents["u"]
+    agent.submit(JobDescription(executable="reco", runtime=100.0,
+                                input_datasets=("d1",)))
+    tb.run_until_quiet(max_time=20_000.0)
+    assert agent.all_terminal()
+    metrics = tb.sim.metrics
+    assert metrics.counter("broker.data_picks").labelled("alpha-gk") == 1
+    assert metrics.counter("broker.data_locality").labelled("hit") == 1
+    # nothing crossed the WAN: the input was already in place
+    moved = metrics.get("dts.bytes_moved")
+    assert moved is None or moved.value == 0
+
+
+def test_broker_without_datasets_skips_locality_scoring():
+    """No declared inputs: the pick happens, the locality counter does
+    not move (there was nothing to be local *to*)."""
+    tb = build_tb()
+    agent = tb.agents["u"]
+    agent.submit(JobDescription(executable="plain", runtime=50.0))
+    tb.run_until_quiet(max_time=20_000.0)
+    assert agent.all_terminal()
+    metrics = tb.sim.metrics
+    assert sum(metrics.counter("broker.data_picks").labels.values()) == 1
+    locality = metrics.get("broker.data_locality")
+    assert locality is None or sum(locality.labels.values()) == 0
+
+
+def test_busy_replica_site_loses_to_cold_transfer():
+    """Locality is a *cost*, not a hard constraint: when alpha's queue
+    wait dwarfs the staging time, the broker sends the job to beta cold,
+    and stage-in replicates d1 there."""
+    tb = build_tb()
+    # 4MB missing at beta / 1MB/s link = 4s of staging; make alpha's
+    # estimated wait far larger than that.
+    saturate(tb.sites["alpha"].lrm, jobs=8, runtime=5000.0)
+    agent = tb.agents["u"]
+    agent.submit(JobDescription(executable="reco", runtime=100.0,
+                                input_datasets=("d1",)))
+    tb.run_until_quiet(max_time=40_000.0)
+    assert agent.all_terminal()
+    metrics = tb.sim.metrics
+    assert metrics.counter("broker.data_picks").labelled("beta-gk") == 1
+    assert metrics.counter("broker.data_locality").labelled("cold") == 1
+    # the cold pick pulled the replica over; the catalog now knows it
+    entry = tb.replica_catalog.entry("d1")
+    assert "beta-se" in entry["replicas"]
+    assert metrics.counter("dts.bytes_moved").value == 4_000_000
+
+
+def test_missing_bytes_infinite_without_storage_element():
+    """A data job cannot land where there is nowhere to stage to."""
+    tb = build_tb()
+    broker = DataAwareBroker(tb.sim.hosts["submit-u"],
+                             ["alpha-gk", "nowhere-gk"],
+                             tb.data_services)
+    entries = {"d1": {"size": 1000,
+                      "replicas": {"alpha-se": "gsiftp://alpha-se/x"}}}
+    assert broker.missing_bytes(entries, "nowhere-gk") == float("inf")
+    assert broker.missing_bytes(entries, "alpha-gk") == 0.0
+    # with no declared inputs an SE-less site is fine
+    assert broker.missing_bytes({}, "nowhere-gk") == 0.0
+
+
+def test_data_aware_broker_requires_data_services():
+    config = TestbedConfig(
+        seed=1, with_mds=False, with_repo=False,
+        sites=(SiteSpec("solo", scheduler="pbs", cpus=1,
+                        register_mds=False),),
+        agents=(AgentSpec("u", broker_kind="data-aware",
+                          personal_pool=False),),
+    )
+    with pytest.raises(ValueError, match="data-aware"):
+        GridTestbed.from_config(config)
