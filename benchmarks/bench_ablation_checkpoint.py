@@ -18,6 +18,7 @@ import pytest
 from repro import GridTestbed, JobDescription
 from repro.condor.startd import Startd
 from repro.grid.metrics import concurrency
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -29,10 +30,9 @@ def run_policy(label: str, universe: str, ckpt_interval: float):
     old = Startd.CHECKPOINT_INTERVAL
     Startd.CHECKPOINT_INTERVAL = ckpt_interval
     try:
-        tb = GridTestbed(seed=802)
-        tb.add_site("pool", scheduler="condor", cpus=N_JOBS,
-                    owner_mtbf=800.0, owner_busy_time=150.0)
-        agent = tb.add_agent("user")
+        tb = GridTestbed(TestbedConfig(seed=802))
+        tb.add_site(SiteSpec("pool", scheduler="condor", cpus=N_JOBS, lrm_options={"owner_mtbf": 800.0, "owner_busy_time": 150.0}))
+        agent = tb.add_agent(AgentSpec("user"))
         agent.glide_in("pool-gk", count=N_JOBS, walltime=10**6,
                        idle_timeout=10**6)
         ids = [agent.submit(JobDescription(runtime=RUNTIME,

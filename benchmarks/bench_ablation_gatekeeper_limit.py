@@ -12,6 +12,7 @@ arbitrary amounts of refusal/backoff churn.
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -21,10 +22,10 @@ CPUS = 16
 
 
 def run_limit(limit):
-    tb = GridTestbed(seed=805)
-    site = tb.add_site("site", scheduler="pbs", cpus=CPUS)
+    tb = GridTestbed(TestbedConfig(seed=805))
+    site = tb.add_site(SiteSpec("site", scheduler="pbs", cpus=CPUS))
     site.gatekeeper.max_jobmanagers = limit
-    agent = tb.add_agent("user")
+    agent = tb.add_agent(AgentSpec("user"))
     ids = [agent.submit(JobDescription(runtime=RUNTIME),
                         resource="site-gk") for _ in range(N_JOBS)]
     drain(tb, lambda: all(agent.status(j).is_terminal for j in ids),

@@ -14,6 +14,7 @@ warm pool or must re-glide.
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -23,9 +24,9 @@ GAP = 1200.0          # idle gap between the two bursts
 
 
 def run_timeout(idle_timeout: float):
-    tb = GridTestbed(seed=803)
-    tb.add_site("site", scheduler="pbs", cpus=BURST)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=803))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=BURST))
+    agent = tb.add_agent(AgentSpec("user"))
     agent.glide_in("site-gk", count=BURST, walltime=10**5,
                    idle_timeout=idle_timeout)
     first = [agent.submit(JobDescription(runtime=RUNTIME,

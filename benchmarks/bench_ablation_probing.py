@@ -13,6 +13,7 @@ import pytest
 
 from repro import GridTestbed, JobDescription
 from repro.core.gridmanager import GridManager
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -24,9 +25,9 @@ def run_interval(interval: float):
     old = GridManager.PROBE_INTERVAL
     GridManager.PROBE_INTERVAL = interval
     try:
-        tb = GridTestbed(seed=801)
-        tb.add_site("site", scheduler="pbs", cpus=8)
-        agent = tb.add_agent("user")
+        tb = GridTestbed(TestbedConfig(seed=801))
+        tb.add_site(SiteSpec("site", scheduler="pbs", cpus=8))
+        agent = tb.add_agent(AgentSpec("user"))
         ids = [agent.submit(JobDescription(runtime=RUNTIME),
                             resource="site-gk") for _ in range(N_JOBS)]
 

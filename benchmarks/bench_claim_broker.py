@@ -17,6 +17,7 @@ import pytest
 from repro import GridTestbed, JobDescription
 from repro.core.broker import MDSBroker, UserListBroker
 from repro.workloads import saturate
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain, makespan
 
@@ -25,19 +26,19 @@ RUNTIME = 200.0
 
 
 def build_tb(seed=704):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("busy", scheduler="pbs", cpus=8, allocation_cost=1.0)
-    tb.add_site("pricey", scheduler="pbs", cpus=8, allocation_cost=9.0)
-    tb.add_site("cheap", scheduler="pbs", cpus=8, allocation_cost=1.0)
-    tb.add_site("sparc", scheduler="pbs", cpus=8, arch="SPARC",
-                allocation_cost=0.0)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("busy", scheduler="pbs", cpus=8, allocation_cost=1.0))
+    tb.add_site(SiteSpec("pricey", scheduler="pbs", cpus=8, allocation_cost=9.0))
+    tb.add_site(SiteSpec("cheap", scheduler="pbs", cpus=8, allocation_cost=1.0))
+    tb.add_site(SiteSpec("sparc", scheduler="pbs", cpus=8, arch="SPARC",
+                allocation_cost=0.0))
     saturate(tb.sites["busy"].lrm, jobs=40, runtime=3000.0)
     return tb
 
 
 def run_broker(kind: str):
     tb = build_tb()
-    agent = tb.add_agent("user")
+    agent = tb.add_agent(AgentSpec("user"))
     if kind == "user list":
         agent.scheduler.broker = UserListBroker(
             [s.contact for s in tb.sites.values()

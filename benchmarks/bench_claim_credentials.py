@@ -17,6 +17,7 @@ before, around, and after the proxy's expiry):
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -25,12 +26,12 @@ N_PER_PHASE = 3
 
 
 def run_policy(policy: str):
-    tb = GridTestbed(seed=702, use_gsi=True,
-                     with_myproxy=(policy == "myproxy"))
-    tb.add_site("site", scheduler="pbs", cpus=12)
-    agent = tb.add_agent("user", proxy_lifetime=PROXY_LIFETIME,
+    tb = GridTestbed(TestbedConfig(seed=702, use_gsi=True,
+                     with_myproxy=(policy == "myproxy")))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=12))
+    agent = tb.add_agent(AgentSpec("user", proxy_lifetime=PROXY_LIFETIME,
                          myproxy=(policy == "myproxy"),
-                         warn_threshold=300.0)
+                         warn_threshold=300.0))
     ids = []
 
     def workload():

@@ -14,6 +14,7 @@ recovery latency (failure -> first successful contact re-established).
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -22,9 +23,9 @@ RUNTIME = 400.0
 
 
 def run_class(failure_class: str):
-    tb = GridTestbed(seed=701)
-    tb.add_site("site", scheduler="pbs", cpus=BATCH * 2)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=701))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=BATCH * 2))
+    agent = tb.add_agent(AgentSpec("user"))
     ids = [agent.submit(JobDescription(runtime=RUNTIME + 10 * i),
                         resource="site-gk")
            for i in range(BATCH)]

@@ -19,6 +19,7 @@ import pytest
 
 from repro import GridTestbed, JobDescription
 from repro.condor import Schedd, build_pool
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -57,12 +58,12 @@ def run_flocking():
 
 
 def run_condor_g():
-    tb = GridTestbed(seed=705)
-    tb.add_site("home", scheduler="condor", cpus=2)
-    tb.add_site("away", scheduler="condor", cpus=8)
-    tb.add_site("pbs", scheduler="pbs", cpus=8)
-    tb.add_site("lsf", scheduler="lsf", cpus=8)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=705))
+    tb.add_site(SiteSpec("home", scheduler="condor", cpus=2))
+    tb.add_site(SiteSpec("away", scheduler="condor", cpus=8))
+    tb.add_site(SiteSpec("pbs", scheduler="pbs", cpus=8))
+    tb.add_site(SiteSpec("lsf", scheduler="lsf", cpus=8))
+    agent = tb.add_agent(AgentSpec("user"))
     agent.flood_glideins([s.contact for s in tb.sites.values()],
                          per_site=8, walltime=2 * 10**4,
                          idle_timeout=2000.0)

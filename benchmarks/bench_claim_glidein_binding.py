@@ -32,6 +32,7 @@ from repro import GridTestbed, JobDescription
 from repro.core.broker import QueueAwareBroker, UserListBroker
 from repro.lrm import JobSpec
 from repro.workloads import saturate
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain, makespan, time_to_start
 
@@ -40,11 +41,11 @@ RUNTIME = 300.0
 
 
 def build_tb(seed=703):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("alpha", scheduler="pbs", cpus=8)
-    tb.add_site("beta", scheduler="lsf", cpus=8)
-    tb.add_site("gamma", scheduler="loadleveler", cpus=8)
-    tb.add_site("delta", scheduler="nqe", cpus=8)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("alpha", scheduler="pbs", cpus=8))
+    tb.add_site(SiteSpec("beta", scheduler="lsf", cpus=8))
+    tb.add_site(SiteSpec("gamma", scheduler="loadleveler", cpus=8))
+    tb.add_site(SiteSpec("delta", scheduler="nqe", cpus=8))
     saturate(tb.sites["alpha"].lrm, jobs=24, runtime=2000.0)
     saturate(tb.sites["beta"].lrm, jobs=12, runtime=1500.0)
 
@@ -64,7 +65,7 @@ def build_tb(seed=703):
 
 def run_strategy(strategy: str):
     tb = build_tb()
-    agent = tb.add_agent("user")
+    agent = tb.add_agent(AgentSpec("user"))
     contacts = [s.contact for s in tb.sites.values()]
     if strategy == "direct round-robin":
         agent.scheduler.broker = UserListBroker(contacts)

@@ -11,6 +11,7 @@ the simulator's event throughput (a proxy for agent overhead).
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -22,10 +23,10 @@ RUNTIME = 300.0
 def run_point(n_jobs: int):
     import time
 
-    tb = GridTestbed(seed=706)
+    tb = GridTestbed(TestbedConfig(seed=706))
     for i in range(SITES):
         tb.add_site(f"site{i}", scheduler="pbs", cpus=CPUS_PER_SITE)
-    agent = tb.add_agent("user", broker_kind="userlist")
+    agent = tb.add_agent(AgentSpec("user", broker_kind="userlist"))
     wall0 = time.perf_counter()
     ids = [agent.submit(JobDescription(runtime=RUNTIME))
            for _ in range(n_jobs)]

@@ -23,6 +23,7 @@ import pytest
 from repro import GridTestbed
 from repro.grid.metrics import concurrency, timeline
 from repro.workloads import SyntheticMaster
+from repro.grid.config import AgentSpec, TestbedConfig
 
 from _scenarios import CPU_SCALE, TIME_SCALE, drain
 
@@ -40,10 +41,10 @@ TOTAL_CPUS = sum(c for _, _, c, _ in SITES)
 
 
 def run_exp1():
-    tb = GridTestbed(seed=601)
+    tb = GridTestbed(TestbedConfig(seed=601))
     for name, kind, cpus, kw in SITES:
         tb.add_site(name, scheduler=kind, cpus=cpus, **kw)
-    agent = tb.add_agent("metaneos")
+    agent = tb.add_agent(AgentSpec("metaneos"))
 
     contacts = [s.contact for s in tb.sites.values()]
     allocation = 1500.0

@@ -20,6 +20,7 @@ from repro.dagman import DagMan
 from repro.gridftp import GridFTPServer
 from repro.sim import Host
 from repro.workloads import CMSConfig, build_cms_dag
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import TIME_SCALE, drain
 
@@ -38,11 +39,11 @@ CONFIG = dict(
 
 
 def run_exp2():
-    tb = GridTestbed(seed=602)
-    tb.add_site("uw", scheduler="condor", cpus=80)
-    tb.add_site("ncsa", scheduler="pbs", cpus=32)
+    tb = GridTestbed(TestbedConfig(seed=602))
+    tb.add_site(SiteSpec("uw", scheduler="condor", cpus=80))
+    tb.add_site(SiteSpec("ncsa", scheduler="pbs", cpus=32))
     repo = GridFTPServer(Host(tb.sim, "ncsa-mss"))
-    agent = tb.add_agent("caltech")
+    agent = tb.add_agent(AgentSpec("caltech"))
     config = CMSConfig(simulation_site="uw-gk",
                        reconstruction_site="ncsa-gk",
                        repository="ncsa-mss", **CONFIG)

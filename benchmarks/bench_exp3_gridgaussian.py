@@ -24,6 +24,7 @@ from repro.workloads import (
     expected_output,
     gaussian_program,
 )
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
@@ -32,10 +33,10 @@ CONFIG = GaussianJobConfig(iterations=30, seconds_per_iteration=25.0)
 
 
 def run_exp3():
-    tb = GridTestbed(seed=603)
-    tb.add_site("ncsa", scheduler="pbs", cpus=8)
+    tb = GridTestbed(TestbedConfig(seed=603))
+    tb.add_site(SiteSpec("ncsa", scheduler="pbs", cpus=8))
     GridFTPServer(Host(tb.sim, "mss"))
-    agent = tb.add_agent("portal")
+    agent = tb.add_agent(AgentSpec("portal"))
 
     job_ids = []
     for i in range(N_JOBS):

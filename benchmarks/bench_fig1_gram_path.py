@@ -9,14 +9,15 @@ with status flowing back and stdout streaming to the submit machine.
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
 
 def run_figure1():
-    tb = GridTestbed(seed=101, use_gsi=True)
-    tb.add_site("site", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=101, use_gsi=True))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("user"))
 
     def chatty(ctx):
         ctx.write_output("hello from the grid\n")
@@ -79,9 +80,9 @@ def test_fig1_gram_execution_path(benchmark, report):
 
 
 def run_many():
-    tb = GridTestbed(seed=102)
-    tb.add_site("site", scheduler="pbs", cpus=16)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=102))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=16))
+    agent = tb.add_agent(AgentSpec("user"))
     ids = [agent.submit(JobDescription(runtime=50.0 + i), resource="site-gk")
            for i in range(16)]
     drain(tb, lambda: all(agent.status(j).is_terminal for j in ids),

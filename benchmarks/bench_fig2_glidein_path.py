@@ -10,14 +10,15 @@ redirected system calls; the starter checkpoints periodically.
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from _scenarios import drain
 
 
 def run_figure2():
-    tb = GridTestbed(seed=111, use_gsi=True)
-    tb.add_site("site", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=111, use_gsi=True))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("user"))
     agent.glide_in("site-gk", count=1, walltime=10**5, idle_timeout=10**5)
     jid = agent.submit(JobDescription(runtime=150.0, universe="standard",
                                       io_interval=30.0, io_bytes=4096))

@@ -14,14 +14,15 @@ from repro.dagman import DagMan
 from repro.gridftp import GridFTPServer
 from repro.sim import Host
 from repro.workloads import CMSConfig, build_cms_dag
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def main() -> None:
-    testbed = GridTestbed(seed=8)
-    testbed.add_site("uw", scheduler="condor", cpus=20)
-    testbed.add_site("ncsa", scheduler="pbs", cpus=16)
+    testbed = GridTestbed(TestbedConfig(seed=8))
+    testbed.add_site(SiteSpec("uw", scheduler="condor", cpus=20))
+    testbed.add_site(SiteSpec("ncsa", scheduler="pbs", cpus=16))
     mss = GridFTPServer(Host(testbed.sim, "ncsa-mss"))
-    agent = testbed.add_agent("caltech")
+    agent = testbed.add_agent(AgentSpec("caltech"))
 
     config = CMSConfig(
         simulation_site="uw-gk",

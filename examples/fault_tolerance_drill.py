@@ -12,12 +12,13 @@ Run:  python examples/fault_tolerance_drill.py
 
 from repro import GridTestbed, JobDescription
 from repro.core.scheduler import CondorGScheduler
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def main() -> None:
-    testbed = GridTestbed(seed=13)
-    site = testbed.add_site("site", scheduler="pbs", cpus=8)
-    agent = testbed.add_agent("ops")
+    testbed = GridTestbed(TestbedConfig(seed=13))
+    site = testbed.add_site(SiteSpec("site", scheduler="pbs", cpus=8))
+    agent = testbed.add_agent(AgentSpec("ops"))
     ids = [agent.submit(JobDescription(runtime=1500.0 + 50 * i),
                         resource=site.contact) for i in range(6)]
 

@@ -13,15 +13,16 @@ from repro import GridTestbed, JobDescription
 from repro.core.gcat import assemble_chunks
 from repro.gridftp import GridFTPServer
 from repro.sim import Host
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 from repro.workloads import GaussianJobConfig, expected_output, \
     gaussian_program
 
 
 def main() -> None:
-    testbed = GridTestbed(seed=9)
-    testbed.add_site("ncsa", scheduler="pbs", cpus=4)
+    testbed = GridTestbed(TestbedConfig(seed=9))
+    testbed.add_site(SiteSpec("ncsa", scheduler="pbs", cpus=4))
     GridFTPServer(Host(testbed.sim, "mss"))
-    agent = testbed.add_agent("portal")
+    agent = testbed.add_agent(AgentSpec("portal"))
 
     config = GaussianJobConfig(iterations=20, seconds_per_iteration=30.0)
     job = agent.submit(

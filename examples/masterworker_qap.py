@@ -19,6 +19,7 @@ import numpy as np
 
 from repro import GridTestbed
 from repro.workloads import QAPBranchAndBound, QAPInstance, QAPMaster
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def main() -> None:
@@ -29,15 +30,13 @@ def main() -> None:
           f"({sequential.nodes_explored} nodes, "
           f"{sequential.laps_solved} LAPs)")
 
-    testbed = GridTestbed(seed=7)
+    testbed = GridTestbed(TestbedConfig(seed=7))
     # two Condor pools of reclaimable desktops plus a PBS cluster
-    testbed.add_site("pool-a", scheduler="condor", cpus=6,
-                     owner_mtbf=1500.0, owner_busy_time=120.0)
-    testbed.add_site("pool-b", scheduler="condor", cpus=6,
-                     owner_mtbf=1500.0, owner_busy_time=120.0)
-    testbed.add_site("cluster", scheduler="pbs", cpus=4)
+    testbed.add_site(SiteSpec("pool-a", scheduler="condor", cpus=6, lrm_options={"owner_mtbf": 1500.0, "owner_busy_time": 120.0}))
+    testbed.add_site(SiteSpec("pool-b", scheduler="condor", cpus=6, lrm_options={"owner_mtbf": 1500.0, "owner_busy_time": 120.0}))
+    testbed.add_site(SiteSpec("cluster", scheduler="pbs", cpus=4))
 
-    agent = testbed.add_agent("metaneos")
+    agent = testbed.add_agent(AgentSpec("metaneos"))
     agent.flood_glideins([s.contact for s in testbed.sites.values()],
                          per_site=4, walltime=10**6, idle_timeout=10**6)
 

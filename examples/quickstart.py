@@ -11,14 +11,15 @@ Run:  python examples/quickstart.py
 """
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def main() -> None:
-    testbed = GridTestbed(seed=42, use_gsi=True)
-    testbed.add_site("wisc", scheduler="pbs", cpus=16)
-    testbed.add_site("anl", scheduler="lsf", cpus=8)
+    testbed = GridTestbed(TestbedConfig(seed=42, use_gsi=True))
+    testbed.add_site(SiteSpec("wisc", scheduler="pbs", cpus=16))
+    testbed.add_site(SiteSpec("anl", scheduler="lsf", cpus=8))
 
-    agent = testbed.add_agent("alice", broker_kind="mds")
+    agent = testbed.add_agent(AgentSpec("alice", broker_kind="mds"))
 
     # Let MDS registrations warm up so the broker has fresh resource ads.
     testbed.run(until=120.0)

@@ -12,6 +12,7 @@ Run:  python examples/submit_file_workflow.py
 
 from repro import GridTestbed
 from repro.core import condor_history, condor_q, submit_from_file
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 SUBMIT_FILE = """
 # sweep.sub -- a 6-point parameter sweep across the grid
@@ -26,10 +27,10 @@ queue 6
 
 
 def main() -> None:
-    testbed = GridTestbed(seed=15, use_gsi=True)
-    testbed.add_site("wisc", scheduler="pbs", cpus=2)
-    testbed.add_site("anl", scheduler="lsf", cpus=2)
-    agent = testbed.add_agent("alice", broker_kind="queue-aware")
+    testbed = GridTestbed(TestbedConfig(seed=15, use_gsi=True))
+    testbed.add_site(SiteSpec("wisc", scheduler="pbs", cpus=2))
+    testbed.add_site(SiteSpec("anl", scheduler="lsf", cpus=2))
+    agent = testbed.add_agent(AgentSpec("alice", broker_kind="queue-aware"))
 
     ids = submit_from_file(agent, SUBMIT_FILE)
     print(f"submitted {len(ids)} jobs from the submit file\n")

@@ -13,11 +13,12 @@ experiment index.
 
 Quickstart::
 
-    from repro import GridTestbed, JobDescription
+    from repro import (AgentSpec, GridTestbed, JobDescription, SiteSpec,
+                       TestbedConfig)
 
-    testbed = GridTestbed(seed=42)
-    site = testbed.add_site("wisc", scheduler="pbs", cpus=16)
-    agent = testbed.add_agent("alice")
+    testbed = GridTestbed(TestbedConfig(seed=42))
+    site = testbed.add_site(SiteSpec("wisc", scheduler="pbs", cpus=16))
+    agent = testbed.add_agent(AgentSpec("alice"))
     job = agent.submit(JobDescription(executable="sim.exe",
                                       runtime=120.0),
                        resource=site.contact)
@@ -26,9 +27,12 @@ Quickstart::
 """
 
 from .core.api import CondorGAgent, JobDescription, JobStatus
+from .grid.config import (AdmissionPolicy, AgentSpec, FactoryPolicy,
+                          SiteSpec, TestbedConfig, TrafficProfile)
 from .grid.testbed import GridTestbed, Site
 
 __version__ = "1.0.0"
 
-__all__ = ["CondorGAgent", "GridTestbed", "JobDescription", "JobStatus",
-           "Site", "__version__"]
+__all__ = ["AdmissionPolicy", "AgentSpec", "CondorGAgent", "FactoryPolicy",
+           "GridTestbed", "JobDescription", "JobStatus", "Site", "SiteSpec",
+           "TestbedConfig", "TrafficProfile", "__version__"]

@@ -34,7 +34,7 @@ PLAN_VERSION = 1
 # Fault kinds a plan may carry.  `duration` is downtime / outage length /
 # delay-until-refresh, depending on the kind.
 KINDS = ("crash", "partition", "isolate", "jm_kill", "proxy_expire",
-         "corrupt")
+         "corrupt", "factory_kill")
 
 
 @dataclass(frozen=True)
@@ -166,6 +166,11 @@ def fault_surface(tb: "GridTestbed") -> dict[str, list[str]]:
     # writes -- the fault the checksum/repair machinery exists for.
     se_hosts = sorted(site.se_host.name for site in tb.sites.values()
                       if site.se_host is not None)
+    # Users running a GlideInFactory: the autoscaler daemon dies and is
+    # operator-restarted later (its control loop is stateless, so the
+    # fresh instance re-derives everything from the queue and the fleet).
+    factory_users = sorted(name for name, agent in tb.agents.items()
+                           if agent.factory is not None)
     return {
         "crash": gk_hosts + se_hosts,
         "partition": pairs,
@@ -173,6 +178,7 @@ def fault_surface(tb: "GridTestbed") -> dict[str, list[str]]:
         "jm_kill": gk_hosts,
         "proxy_expire": cred_users,
         "corrupt": se_hosts,
+        "factory_kill": factory_users,
     }
 
 
@@ -194,8 +200,40 @@ def _apply_one(tb: "GridTestbed", ev: PlannedFault) -> None:
         _apply_proxy_expiry(tb, ev)
     elif ev.kind == "corrupt":
         _apply_corruption(tb, ev)
+    elif ev.kind == "factory_kill":
+        _apply_factory_kill(tb, ev)
     else:
         raise ValueError(f"unknown fault kind {ev.kind!r}")
+
+
+def _apply_factory_kill(tb: "GridTestbed", ev: PlannedFault) -> None:
+    """Kill a user's GlideInFactory daemon mid-flight (and restart it).
+
+    The control loop dies between observation and action -- in-flight
+    provisioning already submitted stays submitted, glideins keep
+    serving, but nothing scales until the operator restarts the daemon
+    ``duration`` later.  Because the factory re-derives its whole view
+    each cycle, the restarted instance must converge without help; the
+    invariant suite checks the pool still drains.
+    """
+    user = ev.target
+
+    def kill() -> None:
+        agent = tb.agents[user]
+        if agent.factory is not None:
+            agent.factory.crash()
+
+    tb.failures.custom_at(ev.time, "factory_kill", user, kill)
+
+    def restart() -> None:
+        agent = tb.agents[user]
+        if agent.factory is not None and \
+                agent.host.get_service(agent.factory.name) is None:
+            fresh = agent.factory.restarted()
+            tb.factories[user] = fresh
+
+    tb.failures.custom_at(ev.time + (ev.duration or 120.0),
+                          "factory_restart", user, restart)
 
 
 def _apply_corruption(tb: "GridTestbed", ev: PlannedFault) -> None:

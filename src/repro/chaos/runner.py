@@ -109,6 +109,8 @@ def drive_to_quiescence(tb, scenario: Scenario, plan: FaultPlan) -> None:
     def settled() -> bool:
         if sim.now < not_before:
             return False
+        if tb.traffic is not None and not tb.traffic.finished:
+            return False    # the arrival trace is still being replayed
         for agent in tb.agents.values():
             for job in agent.scheduler.jobs.values():
                 if not job.is_terminal and job.state != "HELD":

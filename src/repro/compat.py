@@ -1,0 +1,38 @@
+"""Deprecation-shim policy: warn by default, raise under strict mode.
+
+The typed-config migration (repro.grid.config) left a handful of legacy
+entry points behind as shims -- ``GridTestbed(**kwargs)``,
+``add_site(name, **kwargs)``, ``add_agent(name, **kwargs)``, and the
+redundant ``user=`` arguments on the scheduler.  Each shim funnels
+through :func:`deprecated` so one environment variable flips the whole
+surface from "warn and keep going" to "fail loudly":
+
+    REPRO_STRICT_API=1  ->  shims raise TypeError instead of warning.
+
+CI runs the tier-1 suite with strict mode on, which is how "no in-repo
+caller hits a deprecation shim" stays true over time.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+STRICT_ENV = "REPRO_STRICT_API"
+
+
+def strict_api() -> bool:
+    """True when deprecated entry points must raise instead of warn."""
+    return os.environ.get(STRICT_ENV, "") not in ("", "0")
+
+
+def deprecated(message: str, stacklevel: int = 3) -> None:
+    """Flag one use of a deprecated entry point.
+
+    Warns (DeprecationWarning) by default; raises TypeError when
+    ``REPRO_STRICT_API`` is set, so strict environments cannot silently
+    lean on a shim.
+    """
+    if strict_api():
+        raise TypeError(f"{message} [{STRICT_ENV}=1: shims disabled]")
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

@@ -230,6 +230,10 @@ class Schedd(Service):
         return [j for j in self.jobs.values()
                 if j.state == IDLE and j.universe in ("vanilla", "standard")]
 
+    def idle_count(self) -> int:
+        """O(1) idle-job count (the factory's queue-depth signal)."""
+        return len(self._idle_ids)
+
     def counts(self) -> dict:
         out: dict[str, int] = {}
         for job in self.jobs.values():

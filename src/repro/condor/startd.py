@@ -157,6 +157,17 @@ class Startd(Service):
         if not self.stopped.triggered and not self.stopped._scheduled:
             self.stopped.succeed(reason)
 
+    def handle_retire(self, ctx) -> bool:
+        """Factory-initiated early scale-down: an unclaimed glidein runs
+        the same graceful shutdown as its idle timeout.  Claimed or busy
+        slots refuse -- the factory only reaps idle capacity."""
+        if not self.glidein or self.state != UNCLAIMED:
+            return False
+        self._procs.append(self.host.spawn(
+            self._graceful_shutdown("factory retire"),
+            name=f"retire:{self.startd_name}"))
+        return True
+
     # -- claim protocol -----------------------------------------------------------
     def handle_request_claim(self, ctx, schedd_host: str, job_id: str,
                              shadow_service: str,

@@ -135,6 +135,9 @@ class CondorGAgent:
         self.collector: Optional[Collector] = None
         self.schedd: Optional[Schedd] = None
         self.glideins: Optional[GlideInManager] = None
+        #: autoscaler over ``glideins``, attached by the testbed when any
+        #: site declares a FactoryPolicy (repro.factory)
+        self.factory = None
         if personal_pool:
             self.collector = Collector(host)
             Negotiator(host, collector=host.name,

@@ -13,9 +13,9 @@ GridManager reconnects to (or safely resubmits) every job -- the §4.2
 from __future__ import annotations
 
 import bisect
-import warnings
 from typing import Optional
 
+from ..compat import deprecated
 from ..sim.hosts import Host
 from ..sim.perf import PerfFlags
 from . import job as J
@@ -195,10 +195,10 @@ class CondorGScheduler:
         """
         if user is None:
             return
-        warnings.warn(
+        deprecated(
             f"{method}(user=...) is deprecated; the scheduler is bound "
             f"to {self.user!r} and takes its identity from self.user",
-            DeprecationWarning, stacklevel=3)
+            stacklevel=4)
         if user != self.user:
             raise ValueError(
                 f"scheduler of {self.user!r} got a {method}() call for "

@@ -1,0 +1,19 @@
+"""GlideIn factory: demand-driven elastic provisioning (ROADMAP item 3).
+
+The paper's glidein pools are sized by hand; this package adds the
+control loop that later grid stacks grew on top of Condor-G: a
+:class:`~repro.factory.daemon.GlideInFactory` daemon on the user's
+submit machine watches the personal pool's queue depth, idle-glidein
+ratio, and time-to-first-job, and drives
+:class:`~repro.core.glidein.GlideInManager` provisioning through a
+declarative :class:`~repro.factory.policy.FactoryPolicy` -- min/max per
+site, scale-up/down thresholds, cooldowns, lease renewal, and idle
+reaping wired into the existing glidein lifecycle.
+
+See docs/AUTOSCALING.md for the knobs and the control-loop semantics.
+"""
+
+from .daemon import GlideInFactory
+from .policy import FactoryPolicy
+
+__all__ = ["FactoryPolicy", "GlideInFactory"]

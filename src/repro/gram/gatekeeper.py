@@ -20,10 +20,12 @@ can duplicate jobs, not retrying it can lose them.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Optional
 
+from ..sim.errors import RPCError
 from ..sim.hosts import Host
-from ..sim.rpc import Service
+from ..sim.rpc import Service, call
 from .jobmanager import STATE_NS, JobManager
 from .protocol import GramJobRequest
 
@@ -34,6 +36,34 @@ class GatekeeperBusy(Exception):
     Transient by nature: clients back off and retry, or the broker
     routes elsewhere.
     """
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Gatekeeper-side admission control (the §6 overload fix).
+
+    Two independent gates, both rejecting with the same transient
+    ``GatekeeperBusy`` ("JobManager limit") signal that GridManagers
+    already turn into congestion backoff -- so a throttled client loses
+    no attempts and simply retries later:
+
+    * ``rate``/``burst``: a token bucket over *new* submissions
+      (duplicates of an already-accepted submit always pass -- rejecting
+      a retry of accepted work would break exactly-once).  ``rate`` is
+      sustained submissions/second; ``burst`` is the bucket depth.
+    * ``max_queue``: queue-depth backpressure.  A poller samples the
+      LRM's queued-job count every ``poll_interval`` seconds; while the
+      cached depth is at or above ``max_queue``, new submissions are
+      refused at the door instead of piling up behind a saturated
+      scheduler.
+
+    ``None`` for either gate disables it.
+    """
+
+    rate: Optional[float] = None
+    burst: int = 10
+    max_queue: Optional[int] = None
+    poll_interval: float = 10.0
 
 
 class Gatekeeper(Service):
@@ -50,6 +80,7 @@ class Gatekeeper(Service):
         restart_on_boot: bool = True,
         max_jobmanagers: Optional[int] = None,
         max_user_jobmanagers: Optional[int] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ):
         super().__init__(host, authorizer=authorizer)
         self.lrm_contact = lrm_contact
@@ -68,8 +99,24 @@ class Gatekeeper(Service):
         # Volatile on purpose: a gatekeeper crash wipes it, and safety
         # then rests on the client-side stable log (§3.2).
         self._seen: dict[tuple[str, int], str] = {}
+        self._init_admission(admission)
         if restart_on_boot:
             host.add_boot_action(self._reboot)
+
+    def _init_admission(self, admission: Optional[AdmissionPolicy]) -> None:
+        """Admission state: a full token bucket and a fresh depth poller.
+
+        Volatile -- a gatekeeper reboot refills the bucket and restarts
+        the poller, which matches a real daemon restarting with default
+        in-memory state.
+        """
+        self.admission = admission
+        self._tokens = float(admission.burst) if admission else 0.0
+        self._token_stamp = self.sim.now
+        self._lrm_depth = 0
+        if admission is not None and admission.max_queue is not None:
+            self.host.spawn(self._admission_depth_loop(),
+                            name=f"gk-admission:{self.site}")
 
     def _reboot(self, host: Host) -> None:
         """Reinstall the gatekeeper service after a host restart.
@@ -87,12 +134,68 @@ class Gatekeeper(Service):
         fresh.max_user_jobmanagers = self.max_user_jobmanagers
         fresh.rejected_busy = 0
         fresh.rejected_user_busy = 0
+        fresh._init_admission(self.admission)
         # NB: the original boot action stays registered on the host and
         # fires on every restart -- do not add another here, or actions
         # (and gatekeepers created per boot) grow exponentially.
 
     def _trace(self, event: str, **details) -> None:
         self.sim.trace.log(f"gatekeeper:{self.site}", event, **details)
+
+    # -- admission control ---------------------------------------------------
+    def _admission_depth_loop(self):
+        """Sample the LRM's queue depth for the backpressure gate."""
+        assert self.admission is not None
+        me = self
+        while self.host.get_service(self.name) is me and self.host.up:
+            try:
+                info = yield from call(self.host, self.lrm_contact, "lrm",
+                                       "queue_info")
+                self._lrm_depth = info["queued_jobs"]
+            except RPCError:
+                pass          # keep the last sample; retry next period
+            yield self.sim.timeout(self.admission.poll_interval)
+
+    def _admit(self, owner: str, seq: int, client: str) -> None:
+        """Both admission gates; raises GatekeeperBusy on rejection.
+
+        The rejection text deliberately contains "JobManager limit" so
+        the GridManager's existing congestion-backoff marker matches:
+        throttled submissions consume no attempt and retry after backoff.
+        """
+        policy = self.admission
+        if policy is None:
+            return
+        if policy.max_queue is not None and \
+                self._lrm_depth >= policy.max_queue:
+            self.sim.metrics.counter("gatekeeper.admission_rejects").inc(
+                label="depth")
+            self.sim.metrics.counter(
+                "gatekeeper.rejects_by_user").inc(label=owner)
+            self._trace("admission_rejected_depth", seq=seq, client=client,
+                        owner=owner, depth=self._lrm_depth)
+            raise GatekeeperBusy(
+                f"gatekeeper {self.site} backpressure: LRM queue depth "
+                f"{self._lrm_depth} >= {policy.max_queue} "
+                f"[admission JobManager limit]")
+        if policy.rate is not None:
+            now = self.sim.now
+            self._tokens = min(float(policy.burst),
+                               self._tokens
+                               + (now - self._token_stamp) * policy.rate)
+            self._token_stamp = now
+            if self._tokens < 1.0:
+                self.sim.metrics.counter(
+                    "gatekeeper.admission_rejects").inc(label="rate")
+                self.sim.metrics.counter(
+                    "gatekeeper.rejects_by_user").inc(label=owner)
+                self._trace("admission_rejected_rate", seq=seq,
+                            client=client, owner=owner)
+                raise GatekeeperBusy(
+                    f"gatekeeper {self.site} submission rate limit "
+                    f"({policy.rate}/s) [admission JobManager limit]")
+            self._tokens -= 1.0
+        self.sim.metrics.counter("gatekeeper.admission_admits").inc()
 
     # -- handlers -----------------------------------------------------------
     def handle_ping(self, ctx) -> str:
@@ -119,6 +222,10 @@ class Gatekeeper(Service):
         owner = ctx.principal or ctx.caller_host
         jmid = self._seen.get(key)
         if jmid is None:
+            # Admission first: duplicates of an accepted submit bypass it
+            # (exactly-once), but brand-new work must pass both gates
+            # before it can even reach the JobManager caps.
+            self._admit(owner, seq, ctx.caller_host)
             if self.max_jobmanagers is not None or \
                     self.max_user_jobmanagers is not None:
                 live, live_user = self._live_jobmanagers(owner)

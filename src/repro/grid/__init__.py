@@ -1,5 +1,14 @@
 """Testbed builder, run metrics, and the named scenario registry."""
 
+from .config import (
+    AdmissionPolicy,
+    AgentSpec,
+    DatasetSpec,
+    FactoryPolicy,
+    SiteSpec,
+    TestbedConfig,
+    TrafficProfile,
+)
 from .metrics import ConcurrencyStats, concurrency, queue_waits, timeline
 from .scenarios import (
     SCENARIOS,
@@ -19,8 +28,10 @@ from .testbed import (
 )
 
 __all__ = [
-    "CONDOR_BINARIES", "ConcurrencyStats", "GIIS_HOST", "GridTestbed",
+    "AdmissionPolicy", "AgentSpec", "CONDOR_BINARIES", "ConcurrencyStats",
+    "DatasetSpec", "FactoryPolicy", "GIIS_HOST", "GridTestbed",
     "MYPROXY_HOST", "REPO_HOST", "SCENARIOS", "Scenario", "Site",
-    "concurrency", "get_scenario", "queue_waits", "register",
-    "scenario_names", "three_site_grid", "timeline",
+    "SiteSpec", "TestbedConfig", "TrafficProfile", "concurrency",
+    "get_scenario", "queue_waits", "register", "scenario_names",
+    "three_site_grid", "timeline",
 ]

@@ -18,6 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
+from ..factory.policy import FactoryPolicy
+from ..gram.gatekeeper import AdmissionPolicy
+from ..workloads.synthetic import TrafficProfile
+
+__all__ = [
+    "AdmissionPolicy", "AgentSpec", "DatasetSpec", "FactoryPolicy",
+    "SiteSpec", "TestbedConfig", "TrafficProfile",
+]
+
 
 @dataclass(frozen=True)
 class SiteSpec:
@@ -35,6 +44,13 @@ class SiteSpec:
     #: interface machine, and per-user fair-share cap (None = unlimited)
     max_jobmanagers: Optional[int] = None
     max_user_jobmanagers: Optional[int] = None
+    #: gatekeeper admission control: submission rate limit + queue-depth
+    #: backpressure (None = open door, the paper-era default)
+    admission: Optional[AdmissionPolicy] = None
+    #: autoscaling policy for this site: every personal-pool agent's
+    #: GlideInFactory provisions here within these bounds (None = the
+    #: site is not factory-managed; explicit glide_in still works)
+    factory: Optional[FactoryPolicy] = None
     #: extra keyword arguments for the LRM flavor (e.g. Condor-pool knobs)
     lrm_options: dict[str, Any] = field(default_factory=dict)
     #: storage-element GridFTP bandwidth in bytes/s (None = no SE at
@@ -87,6 +103,8 @@ class TestbedConfig:
     not the jobs.
     """
 
+    __test__ = False    # pytest: not a test class, despite the name
+
     seed: int = 0
     latency: float = 0.05
     jitter: float = 0.01
@@ -106,6 +124,9 @@ class TestbedConfig:
     data_link_bandwidth: float = 5_000_000.0
     #: concurrent third-party streams allowed per SE->SE link
     data_max_streams: int = 2
+    #: bursty grid-user submission process replayed into the agents
+    #: (None = workloads stay imperative, the historical default)
+    traffic: Optional[TrafficProfile] = None
 
     def with_seed(self, seed: int) -> "TestbedConfig":
         """The same topology under a different seed (scenario builders)."""

@@ -13,14 +13,15 @@ inside a scenario comes from the testbed's named RNG streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields as dataclass_fields, replace
 from typing import Callable, Optional
 
 from ..core.api import JobDescription
 from ..workloads.cms import DataCMSConfig, build_data_cms_jobs, \
     data_cms_dataset_sizes
-from ..workloads.synthetic import saturate
-from .config import AgentSpec, DatasetSpec, SiteSpec, TestbedConfig
+from ..workloads.synthetic import TrafficProfile, saturate
+from .config import AdmissionPolicy, AgentSpec, DatasetSpec, \
+    FactoryPolicy, SiteSpec, TestbedConfig
 from .testbed import GridTestbed
 
 
@@ -47,15 +48,72 @@ class Scenario:
     max_faults: int = 4
     chunk: float = 1000.0
 
+    def with_overrides(self, name: str,
+                       description: Optional[str] = None,
+                       **params) -> "Scenario":
+        """A named variant of this scenario.
+
+        Keyword arguments that are :class:`Scenario` fields
+        (``fault_horizon``, ``cap``, ...) override the envelope; every
+        other keyword is bound into the builder, so
+        ``sc.with_overrides("big", jobs=10_000)`` builds with
+        ``sc.build(seed, jobs=10_000)``.  This is how scenario families
+        (scale/multiuser/data/burst) derive variants without copy-pasting
+        builder blocks.  The variant is *not* registered -- pass it to
+        :func:`register` if it should be.
+        """
+        meta_fields = {f.name for f in dataclass_fields(Scenario)} \
+            - {"name", "description", "build"}
+        meta = {key: params.pop(key) for key in list(params)
+                if key in meta_fields}
+        build = self.build
+        if params:
+            base, bound = self.build, dict(params)
+
+            def build(seed: int, _base=base, _bound=bound):
+                return _base(seed, **_bound)
+
+        return replace(
+            self, name=name, build=build,
+            description=description
+            if description is not None else self.description,
+            **meta)
+
 
 SCENARIOS: dict[str, Scenario] = {}
 
 
-def register(scenario: Scenario) -> Scenario:
+def _add(scenario: Scenario) -> Scenario:
     if scenario.name in SCENARIOS:
         raise ValueError(f"duplicate scenario {scenario.name!r}")
     SCENARIOS[scenario.name] = scenario
     return scenario
+
+
+def register(scenario: Optional[Scenario] = None, **fields):
+    """Register a scenario -- as a value or as a builder decorator.
+
+    Value form (variants, pre-built Scenario objects)::
+
+        register(base.with_overrides("big", jobs=10_000))
+
+    Decorator form (the common case -- the builder function stays a
+    plain importable function, its Scenario rides on ``fn.scenario``)::
+
+        @register(name="burst-flash", description="...", cap=60_000.0)
+        def burst_flash_grid(seed=0, **knobs) -> GridTestbed: ...
+    """
+    if scenario is not None:
+        if fields:
+            raise TypeError(
+                "pass either a Scenario or decorator fields, not both")
+        return _add(scenario)
+
+    def decorator(fn):
+        fn.scenario = _add(Scenario(build=fn, **fields))
+        return fn
+
+    return decorator
 
 
 def get_scenario(name: str) -> Scenario:
@@ -105,6 +163,13 @@ QUICKSTART_CONFIG = TestbedConfig(
 )
 
 
+@register(
+    name="quickstart",
+    description="two GSI sites + MDS broker (examples/quickstart.py)",
+    fault_horizon=2500.0,
+    fault_kinds=("crash", "partition", "isolate", "jm_kill",
+                 "proxy_expire"),
+)
 def _build_quickstart(seed: int) -> GridTestbed:
     """The examples/quickstart.py grid: two GSI sites, MDS broker."""
     tb = GridTestbed.from_config(QUICKSTART_CONFIG, seed)
@@ -120,6 +185,11 @@ def _build_quickstart(seed: int) -> GridTestbed:
     return tb
 
 
+@register(
+    name="three-site",
+    description="three heterogeneous sites, userlist broker, light load",
+    fault_horizon=2500.0,
+)
 def _build_three_site(seed: int) -> GridTestbed:
     """Three heterogeneous sites, light background load, userlist broker."""
     # The background load lands *between* sites and agent (order is part
@@ -140,6 +210,13 @@ CREDENTIAL_CONFIG = TestbedConfig(
 )
 
 
+@register(
+    name="credential",
+    description="single GSI site; §4.3 expiry/hold/notify/refresh drills",
+    fault_horizon=1500.0,
+    fault_kinds=("proxy_expire", "jm_kill", "partition"),
+    max_faults=3,
+)
 def _build_credential(seed: int) -> GridTestbed:
     """One GSI site, one user, long-ish jobs: the §4.3 playground."""
     tb = GridTestbed.from_config(CREDENTIAL_CONFIG, seed)
@@ -164,6 +241,14 @@ def scale_sites(n_sites: int = 20, cpus: int = 50) -> tuple[SiteSpec, ...]:
         for i in range(n_sites))
 
 
+@register(
+    name="scale-gram",
+    description="10k GRAM jobs over 20 sites x 50 cpus, userlist broker",
+    fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+)
 def scale_gram_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
                     cpus: int = 50) -> GridTestbed:
     """The GRAM-path scale cell: one agent spraying `jobs` grid-universe
@@ -188,6 +273,14 @@ def scale_gram_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
     return tb
 
 
+@register(
+    name="scale-glidein",
+    description="10k vanilla jobs on 1000 glideins across 20 sites",
+    fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+)
 def scale_glidein_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
                        glideins_per_site: int = 50) -> GridTestbed:
     """The GlideIn-path scale cell: a personal pool spanning `n_sites`
@@ -213,6 +306,14 @@ def scale_glidein_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
     return tb
 
 
+@register(
+    name="scale-100k",
+    description="100k vanilla jobs on a 2500-glidein claim-reuse pool",
+    fault_horizon=5000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+)
 def scale_pool_grid(seed: int = 0, jobs: int = 100_000, n_sites: int = 25,
                     glideins_per_site: int = 100, warmup: float = 400.0,
                     advertise_interval: float = 120.0) -> GridTestbed:
@@ -260,6 +361,13 @@ def kiloclient_grid(seed: int = 0, users: int = 1000,
         max_user_jobmanagers=8, max_submitted_per_resource=2)
 
 
+@register(
+    name="pool-reuse",
+    description="small claim-reuse pool: 40 vanilla jobs on 8 glideins",
+    fault_horizon=1500.0,
+    fault_kinds=("crash", "partition", "isolate"),
+    max_faults=3,
+)
 def pool_reuse_grid(seed: int = 0, jobs: int = 40) -> GridTestbed:
     """A small claim-reuse pool: the chaos/equivalence workout for the
     collector indexes, negotiator memoization, and reuse protocol."""
@@ -330,6 +438,14 @@ def data_cms_config(cms: DataCMSConfig,
     )
 
 
+@register(
+    name="data-cms",
+    description="dataset-driven CMS reco: 24 staging-bound jobs, "
+                "3 storage sites, data-aware broker",
+    fault_horizon=2500.0,
+    fault_kinds=("crash", "partition", "isolate", "corrupt"),
+    max_faults=3,
+)
 def data_cms_grid(seed: int = 0, cms: DataCMSConfig = STAGING_BOUND_CMS,
                   broker_kind: str = "data-aware") -> GridTestbed:
     """The dataset-driven CMS reconstruction pass, broker-placed."""
@@ -358,6 +474,14 @@ def multiuser_sites(n_sites: int = 20, cpus: int = 25,
         for i in range(n_sites))
 
 
+@register(
+    name="multiuser-gram",
+    description="50 agents x 100 GRAM jobs over 20 fair-share sites",
+    fault_horizon=3000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+)
 def multiuser_gram_grid(seed: int = 0, users: int = 50,
                         jobs_per_user: int = 100, n_sites: int = 20,
                         cpus: int = 25, max_user_jobmanagers: int = 6,
@@ -392,6 +516,14 @@ def multiuser_gram_grid(seed: int = 0, users: int = 50,
     return tb
 
 
+@register(
+    name="multiuser-glidein",
+    description="10 personal pools x 60 vanilla jobs over 5 shared sites",
+    fault_horizon=3000.0,
+    cap=200_000.0,
+    chunk=5000.0,
+    max_faults=2,
+)
 def multiuser_glidein_grid(seed: int = 0, users: int = 10,
                            jobs_per_user: int = 60, n_sites: int = 5,
                            glideins_per_site: int = 4) -> GridTestbed:
@@ -420,123 +552,150 @@ def multiuser_glidein_grid(seed: int = 0, users: int = 10,
     return tb
 
 
-register(Scenario(
-    name="quickstart",
-    description="two GSI sites + MDS broker (examples/quickstart.py)",
-    build=_build_quickstart,
-    fault_horizon=2500.0,
+# -- bursty-traffic scenarios (benchmarks/bench_burst.py) ----------------------
+
+#: the autoscaler the burst scenarios run: small floors, generous
+#: ceilings, fast reaction -- the point is elasticity, not steady state.
+BURST_POLICY = FactoryPolicy(
+    min_glideins=0, max_glideins=12, jobs_per_glidein=2.0,
+    max_step=6, scale_up_cooldown=40.0, scale_down_cooldown=120.0,
+    idle_reserve=0, idle_grace=60.0, lease=100_000.0,
+    idle_timeout=240.0, interval=20.0, wait_target=120.0)
+
+
+@register(
+    name="burst-flash",
+    description="flash crowd into a factory-scaled glidein pool: "
+                "1000 virtual users, 10x spike at t=600",
+    fault_horizon=1500.0,
+    cap=60_000.0,
     fault_kinds=("crash", "partition", "isolate", "jm_kill",
-                 "proxy_expire"),
-))
-
-register(Scenario(
-    name="three-site",
-    description="three heterogeneous sites, userlist broker, light load",
-    build=_build_three_site,
-    fault_horizon=2500.0,
-))
-
-register(Scenario(
-    name="credential",
-    description="single GSI site; §4.3 expiry/hold/notify/refresh drills",
-    build=_build_credential,
-    fault_horizon=1500.0,
-    fault_kinds=("proxy_expire", "jm_kill", "partition"),
+                 "factory_kill"),
     max_faults=3,
-))
+    chunk=2000.0,
+)
+def burst_flash_grid(seed: int = 0, *,
+                     users: int = 1000,
+                     n_sites: int = 3,
+                     cpus: int = 16,
+                     base_rate: float = 0.08,
+                     flash_at: tuple = (600.0,),
+                     flash_multiplier: float = 10.0,
+                     flash_duration: float = 200.0,
+                     diurnal_amplitude: float = 0.0,
+                     diurnal_period: float = 2000.0,
+                     horizon: float = 1500.0,
+                     runtime_min: float = 20.0,
+                     runtime_cap: float = 300.0,
+                     policy: FactoryPolicy = BURST_POLICY) -> GridTestbed:
+    """Bursty vanilla traffic into one factory-managed personal pool.
 
-# The scale cells are registered for the benchmark suite and for
-# explicit `--scenario scale-*` chaos runs; they are NOT in the chaos
-# engine's DEFAULT_SCENARIOS, so routine campaigns stay light.
+    The factory sees demand explode when the flash crowd hits, scales
+    each site up within its policy envelope, and reaps the surplus once
+    the spike drains -- the elasticity loop of docs/AUTOSCALING.md under
+    the paper's own glidein machinery.
+    """
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=True,
+        sites=tuple(
+            SiteSpec(f"site{i:02d}",
+                     scheduler=_SCALE_SCHEDULERS[i % len(_SCALE_SCHEDULERS)],
+                     cpus=cpus, register_mds=False, factory=policy)
+            for i in range(n_sites)),
+        agents=(AgentSpec("burst", negotiation_interval=15.0),),
+        traffic=TrafficProfile(
+            users=users, horizon=horizon, base_rate=base_rate,
+            diurnal_amplitude=diurnal_amplitude,
+            diurnal_period=diurnal_period,
+            flash_at=flash_at, flash_multiplier=flash_multiplier,
+            flash_duration=flash_duration,
+            runtime_min=runtime_min, runtime_cap=runtime_cap,
+            universe="vanilla"),
+    )
+    return GridTestbed.from_config(config)
 
-register(Scenario(
-    name="scale-gram",
-    description="10k GRAM jobs over 20 sites x 50 cpus, userlist broker",
-    build=scale_gram_grid,
-    fault_horizon=5000.0,
-    cap=200_000.0,
-    chunk=5000.0,
-    max_faults=2,
-))
 
-register(Scenario(
-    name="scale-glidein",
-    description="10k vanilla jobs on 1000 glideins across 20 sites",
-    build=scale_glidein_grid,
-    fault_horizon=5000.0,
-    cap=200_000.0,
-    chunk=5000.0,
-    max_faults=2,
-))
+register(burst_flash_grid.scenario.with_overrides(
+    "burst-diurnal",
+    description="diurnal swell into a factory-scaled glidein pool: "
+                "the autoscaler tracks a day/night cycle",
+    fault_horizon=2500.0,
+    flash_at=(), diurnal_amplitude=0.8, diurnal_period=2000.0,
+    horizon=3000.0, base_rate=0.12))
 
-register(Scenario(
-    name="scale-100k",
-    description="100k vanilla jobs on a 2500-glidein claim-reuse pool",
-    build=scale_pool_grid,
-    fault_horizon=5000.0,
-    cap=200_000.0,
-    chunk=5000.0,
-    max_faults=2,
-))
 
-register(Scenario(
-    name="kiloclient",
+@register(
+    name="burst-overload",
+    description="the §6 overload incident, survived: a 20x submission "
+                "storm against admission-controlled gatekeepers",
+    fault_horizon=1200.0,
+    cap=60_000.0,
+    fault_kinds=("crash", "partition", "jm_kill"),
+    max_faults=3,
+    chunk=2000.0,
+)
+def burst_overload_grid(seed: int = 0, *,
+                        users: int = 400,
+                        agents: int = 4,
+                        n_sites: int = 2,
+                        cpus: int = 10,
+                        base_rate: float = 0.1,
+                        flash_at: tuple = (100.0,),
+                        flash_multiplier: float = 20.0,
+                        flash_duration: float = 300.0,
+                        horizon: float = 1200.0,
+                        runtime_min: float = 10.0,
+                        runtime_cap: float = 120.0,
+                        admission_rate: float = 0.3,
+                        admission_burst: int = 5,
+                        admission_max_queue: int = 40) -> GridTestbed:
+    """The §6 gatekeeper-overload incident as a surviving scenario.
+
+    A submission storm (20x flash over many virtual users) slams
+    GRAM-universe traffic into two small sites.  Without admission
+    control the era's gatekeepers fell over; here the token bucket and
+    queue-depth backpressure shed load with the congestion-backoff
+    "JobManager limit" signal, so every submission eventually lands
+    exactly once -- zero lost jobs is the acceptance criterion.
+    """
+    admission = AdmissionPolicy(rate=admission_rate,
+                                burst=admission_burst,
+                                max_queue=admission_max_queue,
+                                poll_interval=10.0)
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=False,
+        sites=tuple(
+            SiteSpec(f"site{i:02d}",
+                     scheduler=_SCALE_SCHEDULERS[i % len(_SCALE_SCHEDULERS)],
+                     cpus=cpus, register_mds=False, admission=admission)
+            for i in range(n_sites)),
+        agents=tuple(
+            AgentSpec(f"storm{i}", broker_kind="userlist",
+                      personal_pool=False)
+            for i in range(agents)),
+        traffic=TrafficProfile(
+            users=users, horizon=horizon, base_rate=base_rate,
+            flash_at=flash_at, flash_multiplier=flash_multiplier,
+            flash_duration=flash_duration,
+            runtime_min=runtime_min, runtime_cap=runtime_cap,
+            universe="grid"),
+    )
+    return GridTestbed.from_config(config)
+
+
+# -- derived variants (Scenario.with_overrides) --------------------------------
+# The scale/multiuser/data/burst cells are registered for the benchmark
+# suite and explicit `--scenarios <name>` chaos runs; they are NOT in
+# the chaos engine's DEFAULT_SCENARIOS, so routine campaigns stay light.
+
+register(multiuser_gram_grid.scenario.with_overrides(
+    "kiloclient",
     description="1000 Condor-G agents x 10 GRAM jobs over 20 sites",
-    build=kiloclient_grid,
     fault_horizon=5000.0,
-    cap=200_000.0,
-    chunk=5000.0,
-    max_faults=2,
-))
+    users=1000, jobs_per_user=10, n_sites=20, cpus=50,
+    max_user_jobmanagers=8, max_submitted_per_resource=2))
 
-register(Scenario(
-    name="pool-reuse",
-    description="small claim-reuse pool: 40 vanilla jobs on 8 glideins",
-    build=pool_reuse_grid,
-    fault_horizon=1500.0,
-    fault_kinds=("crash", "partition", "isolate"),
-    max_faults=3,
-))
-
-# Like the scale cells, the multiuser cells are registered for the
-# benchmark suite and explicit `--scenarios multiuser-*` chaos runs, not
-# for DEFAULT_SCENARIOS.
-
-register(Scenario(
-    name="data-cms",
-    description="dataset-driven CMS reco: 24 staging-bound jobs, "
-                "3 storage sites, data-aware broker",
-    build=data_cms_grid,
-    fault_horizon=2500.0,
-    fault_kinds=("crash", "partition", "isolate", "corrupt"),
-    max_faults=3,
-))
-
-register(Scenario(
-    name="data-cms-compute",
+register(data_cms_grid.scenario.with_overrides(
+    "data-cms-compute",
     description="compute-bound sibling of data-cms (same catalog)",
-    build=data_cms_compute_grid,
-    fault_horizon=2500.0,
-    fault_kinds=("crash", "partition", "isolate", "corrupt"),
-    max_faults=3,
-))
-
-register(Scenario(
-    name="multiuser-gram",
-    description="50 agents x 100 GRAM jobs over 20 fair-share sites",
-    build=multiuser_gram_grid,
-    fault_horizon=3000.0,
-    cap=200_000.0,
-    chunk=5000.0,
-    max_faults=2,
-))
-
-register(Scenario(
-    name="multiuser-glidein",
-    description="10 personal pools x 60 vanilla jobs over 5 shared sites",
-    build=multiuser_glidein_grid,
-    fault_horizon=3000.0,
-    cap=200_000.0,
-    chunk=5000.0,
-    max_faults=2,
-))
+    cms=COMPUTE_BOUND_CMS))

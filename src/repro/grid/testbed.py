@@ -12,15 +12,17 @@ This is the module the examples and benchmarks drive; see
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields
 from typing import Optional
 
+from ..compat import deprecated
 from ..condor.jobs import reset_cluster_ids
 from ..core.api import CondorGAgent
 from ..core.broker import Broker, MDSBroker, QueueAwareBroker, UserListBroker
 from ..core.job import reset_grid_job_ids
 from ..data.broker import DataAwareBroker
+from ..factory.daemon import GlideInFactory
+from ..factory.policy import FactoryPolicy
 from ..data.catalog import CATALOG_HOST, ReplicaCatalog, dataset_path
 from ..data.services import DataServices
 from ..data.transfer import DTS_HOST, TransferScheduler
@@ -40,6 +42,7 @@ from ..sim.failures import FailureInjector
 from ..sim.hosts import Host
 from ..sim.kernel import Simulator
 from ..sim.network import Network
+from ..workloads.synthetic import SyntheticTraffic
 from .config import AgentSpec, SiteSpec, TestbedConfig
 
 GIIS_HOST = "mds"
@@ -67,6 +70,9 @@ class Site:
     se_host: Optional[Host] = None
     se: Optional[GridFTPServer] = None
     storage: Optional[float] = None
+    #: autoscaling policy (from SiteSpec.factory): agents' factories
+    #: provision glideins here within these bounds
+    factory_policy: Optional[FactoryPolicy] = None
 
     @property
     def contact(self) -> str:
@@ -102,10 +108,10 @@ class GridTestbed:
                     f"expected TestbedConfig, got {type(config).__name__}")
         else:
             if kwargs:
-                warnings.warn(
+                deprecated(
                     _DEPRECATION % ("GridTestbed(**kwargs)",
                                     "TestbedConfig"),
-                    DeprecationWarning, stacklevel=2)
+                    stacklevel=3)
             config = TestbedConfig(**kwargs)
         self.config = config
         # Restart the module-level id counters so a testbed's ids are a
@@ -128,6 +134,8 @@ class GridTestbed:
         self.sites: dict[str, Site] = {}
         self.users: dict[str, GridUser] = {}
         self.agents: dict[str, CondorGAgent] = {}
+        self.factories: dict[str, GlideInFactory] = {}
+        self.traffic: Optional[SyntheticTraffic] = None
         self.giis: Optional[GIIS] = None
         self.repo: Optional[GridFTPServer] = None
         self.myproxy: Optional[MyProxyServer] = None
@@ -151,6 +159,11 @@ class GridTestbed:
             self.add_user(user_name)
         for agent_spec in config.agents:
             self.add_agent(agent_spec)
+        if config.traffic is not None:
+            if not self.agents:
+                raise ValueError("TestbedConfig.traffic needs agents")
+            self.traffic = SyntheticTraffic(
+                list(self.agents.values()), config.traffic)
 
     @classmethod
     def from_config(cls, config: TestbedConfig,
@@ -173,9 +186,9 @@ class GridTestbed:
                     "pass either a SiteSpec or legacy kwargs, not both")
             spec = site
         else:
-            warnings.warn(
+            deprecated(
                 _DEPRECATION % ("add_site(name, **kwargs)", "SiteSpec"),
-                DeprecationWarning, stacklevel=2)
+                stacklevel=3)
             known = {k: kwargs.pop(k) for k in list(kwargs)
                      if k in _SITE_FIELDS}
             spec = SiteSpec(name=site, lrm_options=kwargs, **known)
@@ -193,11 +206,13 @@ class GridTestbed:
                                 authorizer=authorizer, site=name,
                                 max_jobmanagers=spec.max_jobmanagers,
                                 max_user_jobmanagers=(
-                                    spec.max_user_jobmanagers))
+                                    spec.max_user_jobmanagers),
+                                admission=spec.admission)
         site = Site(name=name, gk_host=gk_host, lrm_host=lrm_host,
                     lrm=lrm, gatekeeper=gatekeeper, gridmap=gridmap,
                     cpus=spec.cpus, arch=spec.arch, memory=spec.memory,
-                    allocation_cost=spec.allocation_cost)
+                    allocation_cost=spec.allocation_cost,
+                    factory_policy=spec.factory)
         if spec.storage:
             # The site's storage element: a persistent GridFTP server on
             # its own machine, so gatekeeper crashes never lose data.
@@ -290,9 +305,9 @@ class GridTestbed:
                     "pass either an AgentSpec or legacy kwargs, not both")
             spec = agent_spec
         else:
-            warnings.warn(
+            deprecated(
                 _DEPRECATION % ("add_agent(name, **kwargs)", "AgentSpec"),
-                DeprecationWarning, stacklevel=2)
+                stacklevel=3)
             spec = AgentSpec(name=agent_spec, **kwargs)
         name = spec.name
         user = self.users.get(name) or self.add_user(name)
@@ -327,6 +342,15 @@ class GridTestbed:
         if broker is not None and agent.credmon is not None and \
                 getattr(broker, "credential_source", False) is None:
             broker.credential_source = agent.credmon.credential_source
+        # Factory-managed sites: every personal-pool agent gets its own
+        # autoscaler over them (Condor-G's per-user architecture -- the
+        # factory serves one user's pool, not the grid).
+        managed = {site.name: (site.contact, site.factory_policy)
+                   for site in self.sites.values()
+                   if site.factory_policy is not None}
+        if managed and spec.personal_pool:
+            agent.factory = GlideInFactory(agent, managed)
+            self.factories[name] = agent.factory
         self.agents[name] = agent
         return agent
 
@@ -367,6 +391,8 @@ class GridTestbed:
         def watchdog():
             while self.sim.now < max_time:
                 yield self.sim.timeout(check_interval)
+                if self.traffic is not None and not self.traffic.finished:
+                    continue    # the arrival trace is still being replayed
                 if all(agent.all_terminal()
                        for agent in self.agents.values()):
                     guard["done"] = True

@@ -19,6 +19,7 @@ from repro.chaos.invariants import (
     check_no_orphan_glideins,
     check_terminal_or_held,
 )
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def _drain(tb, agent, ids, cap=20_000.0):
@@ -29,9 +30,9 @@ def _drain(tb, agent, ids, cap=20_000.0):
 
 @pytest.fixture
 def small_grid():
-    tb = GridTestbed(seed=11)
-    site = tb.add_site("site", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("alice")
+    tb = GridTestbed(TestbedConfig(seed=11))
+    site = tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("alice"))
     return tb, site, agent
 
 
@@ -112,9 +113,9 @@ class TestCredentialHoldNotify:
         path is a job that still *needs* the credential -- here, one
         whose submission authenticates against the dead proxy.
         """
-        tb = GridTestbed(seed=13, use_gsi=True)
-        tb.add_site("wisc", scheduler="pbs", cpus=4)
-        agent = tb.add_agent("carol")
+        tb = GridTestbed(TestbedConfig(seed=13, use_gsi=True))
+        tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
+        agent = tb.add_agent(AgentSpec("carol"))
         agent.credmon.proxy = tb.users["carol"].credential.create_proxy(
             now=0.0, lifetime=0.0)
         for _ in range(2):

@@ -3,17 +3,18 @@
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 @pytest.fixture
 def tb():
-    testbed = GridTestbed(seed=4)
-    testbed.add_site("wisc", scheduler="pbs", cpus=8)
+    testbed = GridTestbed(TestbedConfig(seed=4))
+    testbed.add_site(SiteSpec("wisc", scheduler="pbs", cpus=8))
     return testbed
 
 
 def test_submit_and_complete(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=60.0),
                        resource=tb.sites["wisc"].contact)
     tb.run_until_quiet()
@@ -25,7 +26,7 @@ def test_submit_and_complete(tb):
 
 def test_local_look_and_feel_log_history(tb):
     """'obtain access to detailed logs, providing a complete history'"""
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=60.0),
                        resource=tb.sites["wisc"].contact)
     tb.run_until_quiet()
@@ -37,7 +38,7 @@ def test_local_look_and_feel_log_history(tb):
 
 
 def test_termination_callback(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     seen = []
     agent.on_termination(lambda job_id, event, details:
                          seen.append((job_id, event)))
@@ -48,7 +49,7 @@ def test_termination_callback(tb):
 
 
 def test_query_status_mid_run(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=500.0),
                        resource=tb.sites["wisc"].contact)
     tb.run(until=200.0)
@@ -58,7 +59,7 @@ def test_query_status_mid_run(tb):
 
 
 def test_cancel_job(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=5000.0),
                        resource=tb.sites["wisc"].contact)
     tb.run(until=100.0)
@@ -73,7 +74,7 @@ def test_cancel_job(tb):
 
 
 def test_stdout_streamed_back(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
 
     def chatty(ctx):
         for i in range(3):
@@ -92,7 +93,7 @@ def test_stdout_streamed_back(tb):
 def test_multiple_jobs_one_gridmanager(tb):
     """'One GridManager process handles all jobs for a single user and
     terminates once all jobs are complete.'"""
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     ids = [agent.submit(JobDescription(runtime=50.0),
                         resource=tb.sites["wisc"].contact)
            for _ in range(6)]
@@ -105,7 +106,7 @@ def test_multiple_jobs_one_gridmanager(tb):
 
 
 def test_gridmanager_respawns_for_new_work(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     first = agent.submit(JobDescription(runtime=30.0),
                          resource=tb.sites["wisc"].contact)
     tb.run_until_quiet()
@@ -118,7 +119,7 @@ def test_gridmanager_respawns_for_new_work(tb):
 
 
 def test_app_failure_is_not_resubmitted(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=10.0, exit_code=3),
                        resource=tb.sites["wisc"].contact)
     tb.run_until_quiet()
@@ -130,8 +131,8 @@ def test_app_failure_is_not_resubmitted(tb):
 
 
 def test_two_agents_isolated(tb):
-    alice = tb.add_agent("alice")
-    bob = tb.add_agent("bob")
+    alice = tb.add_agent(AgentSpec("alice"))
+    bob = tb.add_agent(AgentSpec("bob"))
     a = alice.submit(JobDescription(runtime=30.0),
                      resource=tb.sites["wisc"].contact)
     b = bob.submit(JobDescription(runtime=30.0),
@@ -144,9 +145,9 @@ def test_two_agents_isolated(tb):
 
 
 def test_gsi_enforced_when_enabled():
-    tb = GridTestbed(seed=4, use_gsi=True)
-    tb.add_site("wisc", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("alice")
+    tb = GridTestbed(TestbedConfig(seed=4, use_gsi=True))
+    tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=30.0),
                        resource=tb.sites["wisc"].contact)
     tb.run_until_quiet()
@@ -157,9 +158,9 @@ def test_gsi_enforced_when_enabled():
 
 
 def test_unmapped_user_rejected():
-    tb = GridTestbed(seed=4, use_gsi=True)
-    site = tb.add_site("wisc", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("mallory")
+    tb = GridTestbed(TestbedConfig(seed=4, use_gsi=True))
+    site = tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("mallory"))
     site.gridmap.remove(tb.users["mallory"].dn)
     jid = agent.submit(JobDescription(runtime=30.0), resource=site.contact)
     tb.run(until=3000.0)

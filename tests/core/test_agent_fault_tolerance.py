@@ -4,11 +4,12 @@ the GridManager's own probing/restart machinery (no manual recovery)."""
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=8, **kw):
-    tb = GridTestbed(seed=seed, **kw)
-    tb.add_site("wisc", scheduler="pbs", cpus=8)
+    tb = GridTestbed(TestbedConfig(seed=seed, **kw))
+    tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=8))
     return tb
 
 
@@ -21,7 +22,7 @@ def test_class1_jobmanager_crash_auto_restarted():
     """GridManager probes, notices the dead JobManager, and restarts it
     via the gatekeeper -- job completes without user action."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=300.0),
                        resource="wisc-gk")
     tb.run(until=100.0)
@@ -37,7 +38,7 @@ def test_class1_jobmanager_crash_auto_restarted():
 def test_class2_remote_machine_crash_recovered():
     """The whole gatekeeper machine reboots; the agent reconnects."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=400.0),
                        resource="wisc-gk")
     tb.run(until=100.0)
@@ -54,7 +55,7 @@ def test_class3_submit_machine_crash_recovers_from_queue():
     """The submit machine reboots; the recovered agent reconnects to the
     running remote job via the persisted queue (seq + jmid)."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=600.0),
                        resource="wisc-gk")
     tb.run(until=150.0)
@@ -78,7 +79,7 @@ def test_class3_submit_machine_crash_recovers_from_queue():
 
 def test_class4_network_partition_heals():
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=300.0),
                        resource="wisc-gk")
     tb.run(until=100.0)
@@ -94,7 +95,7 @@ def test_job_finishing_during_partition_not_lost():
     a network failure)... the new JobManager will tell the GridManager
     that the job has completed.'"""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=100.0),
                        resource="wisc-gk")
     tb.run(until=50.0)
@@ -109,7 +110,7 @@ def test_gatekeeper_crash_before_commit_no_duplicate():
     the machine; the agent retries the same submission; exactly one LRM
     job results."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     # crash the gatekeeper the instant the submit request would arrive
     tb.failures.crash_host_at(0.5, tb.sites["wisc"].gk_host,
                               down_for=60.0)
@@ -127,7 +128,7 @@ def test_transient_remote_failure_resubmitted_elsewhere():
     bad never resolves, so after max_attempts the job fails with the
     stage-in reason recorded."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     from repro.gram.protocol import GramJobRequest
 
     request = GramJobRequest(executable_url="gass://nowhere/gass/x",
@@ -144,7 +145,7 @@ def test_flaky_network_run_completes_exactly_once():
     """Everything on at once: 10% WAN loss, a gatekeeper reboot, a
     JobManager crash -- all jobs still complete exactly once."""
     tb = make_tb(seed=17, loss_rate=0.1)
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     ids = [agent.submit(JobDescription(runtime=200.0 + 10 * i),
                         resource="wisc-gk") for i in range(6)]
     tb.failures.crash_host_at(150.0, tb.sites["wisc"].gk_host,

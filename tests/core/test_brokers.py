@@ -4,12 +4,13 @@ import pytest
 
 from repro import GridTestbed, JobDescription
 from repro.core.broker import MDSBroker, QueueAwareBroker, UserListBroker
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=31):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("busy", scheduler="pbs", cpus=2)
-    tb.add_site("idle", scheduler="pbs", cpus=16)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("busy", scheduler="pbs", cpus=2))
+    tb.add_site(SiteSpec("idle", scheduler="pbs", cpus=16))
     return tb
 
 
@@ -22,8 +23,7 @@ def load_site(tb, name, jobs, runtime=5000.0):
 
 def test_userlist_round_robin():
     tb = make_tb()
-    agent = tb.add_agent("alice",
-                         broker=UserListBroker(["busy-gk", "idle-gk"]))
+    agent = tb.add_agent(AgentSpec("alice"), broker=UserListBroker(["busy-gk", "idle-gk"]))
     ids = [agent.submit(JobDescription(runtime=10.0)) for _ in range(4)]
     tb.run_until_quiet(max_time=20000.0)
     resources = [agent.status(j).resource for j in ids]
@@ -34,7 +34,7 @@ def test_userlist_round_robin():
 def test_mds_broker_avoids_loaded_site():
     tb = make_tb()
     load_site(tb, "busy", jobs=30)
-    agent = tb.add_agent("alice", broker_kind="mds")
+    agent = tb.add_agent(AgentSpec("alice", broker_kind="mds"))
     tb.run(until=200.0)       # let MDS registrations pick up the load
     ids = [agent.submit(JobDescription(runtime=20.0)) for _ in range(4)]
     tb.run_until_quiet(max_time=40000.0)
@@ -43,10 +43,10 @@ def test_mds_broker_avoids_loaded_site():
 
 
 def test_mds_broker_requirements_filter():
-    tb = GridTestbed(seed=31)
-    tb.add_site("intel", scheduler="pbs", cpus=4, arch="INTEL")
-    tb.add_site("sparc", scheduler="pbs", cpus=4, arch="SPARC")
-    agent = tb.add_agent("alice")
+    tb = GridTestbed(TestbedConfig(seed=31))
+    tb.add_site(SiteSpec("intel", scheduler="pbs", cpus=4, arch="INTEL"))
+    tb.add_site(SiteSpec("sparc", scheduler="pbs", cpus=4, arch="SPARC"))
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.scheduler.broker = MDSBroker(
         agent.host, "mds", requirements='Arch == "SPARC"')
     tb.run(until=200.0)
@@ -56,10 +56,10 @@ def test_mds_broker_requirements_filter():
 
 
 def test_mds_broker_ranks_by_cost():
-    tb = GridTestbed(seed=31)
-    tb.add_site("pricey", scheduler="pbs", cpus=8, allocation_cost=10.0)
-    tb.add_site("cheap", scheduler="pbs", cpus=8, allocation_cost=1.0)
-    agent = tb.add_agent("alice")
+    tb = GridTestbed(TestbedConfig(seed=31))
+    tb.add_site(SiteSpec("pricey", scheduler="pbs", cpus=8, allocation_cost=10.0))
+    tb.add_site(SiteSpec("cheap", scheduler="pbs", cpus=8, allocation_cost=1.0))
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.scheduler.broker = MDSBroker(
         agent.host, "mds", rank="-AllocationCost")
     tb.run(until=200.0)
@@ -71,8 +71,7 @@ def test_mds_broker_ranks_by_cost():
 def test_queue_aware_broker_picks_emptiest_live_queue():
     tb = make_tb()
     load_site(tb, "busy", jobs=30)
-    agent = tb.add_agent(
-        "alice", broker=QueueAwareBroker(None, ["busy-gk", "idle-gk"]))
+    agent = tb.add_agent(AgentSpec("alice"), broker=QueueAwareBroker(None, ["busy-gk", "idle-gk"]))
     agent.scheduler.broker.host = agent.host
     ids = [agent.submit(JobDescription(runtime=20.0)) for _ in range(4)]
     tb.run_until_quiet(max_time=40000.0)
@@ -81,9 +80,9 @@ def test_queue_aware_broker_picks_emptiest_live_queue():
 
 def test_broker_none_candidate_keeps_job_queued():
     """If MDS knows no matching site the job stays queued, not failed."""
-    tb = GridTestbed(seed=31)
-    tb.add_site("intel", scheduler="pbs", cpus=4, arch="INTEL")
-    agent = tb.add_agent("alice")
+    tb = GridTestbed(TestbedConfig(seed=31))
+    tb.add_site(SiteSpec("intel", scheduler="pbs", cpus=4, arch="INTEL"))
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.scheduler.broker = MDSBroker(
         agent.host, "mds", requirements='Arch == "ALPHA"')
     tb.run(until=100.0)
@@ -95,7 +94,7 @@ def test_broker_none_candidate_keeps_job_queued():
 def test_mds_broker_sees_dead_site_disappear():
     """A crashed site ages out of MDS; the broker stops picking it."""
     tb = make_tb()
-    agent = tb.add_agent("alice", broker_kind="mds")
+    agent = tb.add_agent(AgentSpec("alice", broker_kind="mds"))
     tb.run(until=200.0)
     tb.sites["idle"].gk_host.crash()
     tb.sites["idle"].lrm_host.crash()

@@ -4,18 +4,19 @@ re-forwarding, and MyProxy auto-refresh."""
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=12, **kw):
-    tb = GridTestbed(seed=seed, use_gsi=True, **kw)
-    tb.add_site("wisc", scheduler="pbs", cpus=4)
+    tb = GridTestbed(TestbedConfig(seed=seed, use_gsi=True, **kw))
+    tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
     return tb
 
 
 def test_warning_email_before_expiry():
     tb = make_tb()
-    agent = tb.add_agent("alice", proxy_lifetime=3000.0,
-                         warn_threshold=1000.0)
+    agent = tb.add_agent(AgentSpec("alice", proxy_lifetime=3000.0,
+                         warn_threshold=1000.0))
     agent.submit(JobDescription(runtime=100.0), resource="wisc-gk")
     tb.run(until=2500.0)
     assert agent.notifier.emails_about("credential expiry warning")
@@ -23,7 +24,7 @@ def test_warning_email_before_expiry():
 
 def test_expired_proxy_holds_queued_jobs_and_emails():
     tb = make_tb()
-    agent = tb.add_agent("alice", proxy_lifetime=500.0)
+    agent = tb.add_agent(AgentSpec("alice", proxy_lifetime=500.0))
     done = agent.submit(JobDescription(runtime=100.0), resource="wisc-gk")
     tb.run(until=400.0)
     assert agent.status(done).is_complete
@@ -38,7 +39,7 @@ def test_expired_proxy_holds_queued_jobs_and_emails():
 
 def test_user_refresh_releases_holds_and_completes():
     tb = make_tb()
-    agent = tb.add_agent("alice", proxy_lifetime=500.0)
+    agent = tb.add_agent(AgentSpec("alice", proxy_lifetime=500.0))
     tb.run(until=600.0)
     late = agent.submit(JobDescription(runtime=100.0), resource="wisc-gk")
     tb.run(until=1200.0)
@@ -52,7 +53,7 @@ def test_user_refresh_releases_holds_and_completes():
 
 def test_refresh_reforwards_to_remote_jobmanagers():
     tb = make_tb()
-    agent = tb.add_agent("alice", proxy_lifetime=5000.0)
+    agent = tb.add_agent(AgentSpec("alice", proxy_lifetime=5000.0))
     jid = agent.submit(JobDescription(runtime=800.0), resource="wisc-gk")
     tb.run(until=200.0)
     fresh = tb.users["alice"].proxy(now=tb.sim.now, lifetime=12 * 3600.0)
@@ -69,9 +70,9 @@ def test_refresh_reforwards_to_remote_jobmanagers():
 def test_myproxy_auto_refresh_keeps_long_run_going():
     """With MyProxy configured the agent refreshes short proxies itself:
     no holds survive, no user action needed (§4.3 last paragraph)."""
-    tb = GridTestbed(seed=12, use_gsi=True, with_myproxy=True)
-    tb.add_site("wisc", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("alice", proxy_lifetime=600.0, myproxy=True)
+    tb = GridTestbed(TestbedConfig(seed=12, use_gsi=True, with_myproxy=True))
+    tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("alice", proxy_lifetime=600.0, myproxy=True))
     ids = [agent.submit(JobDescription(runtime=300.0),
                         resource="wisc-gk") for _ in range(3)]
     # run far past several proxy lifetimes
@@ -85,7 +86,7 @@ def test_myproxy_auto_refresh_keeps_long_run_going():
 
 def test_without_myproxy_jobs_stay_held():
     tb = make_tb()
-    agent = tb.add_agent("alice", proxy_lifetime=300.0)
+    agent = tb.add_agent(AgentSpec("alice", proxy_lifetime=300.0))
     tb.run(until=500.0)
     late = agent.submit(JobDescription(runtime=50.0), resource="wisc-gk")
     tb.run(until=5000.0)
@@ -93,9 +94,9 @@ def test_without_myproxy_jobs_stay_held():
 
 
 def test_myproxy_bad_passphrase_rejected():
-    tb = GridTestbed(seed=12, use_gsi=True, with_myproxy=True)
-    tb.add_site("wisc", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("alice", proxy_lifetime=300.0, myproxy=True)
+    tb = GridTestbed(TestbedConfig(seed=12, use_gsi=True, with_myproxy=True))
+    tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("alice", proxy_lifetime=300.0, myproxy=True))
     agent.credmon.myproxy["passphrase"] = "wrong"
     tb.run(until=400.0)     # proxy already expired; refresh keeps failing
     late = agent.submit(JobDescription(runtime=50.0), resource="wisc-gk")
@@ -120,7 +121,7 @@ def test_midflight_hold_release_does_not_duplicate_execution():
     number and run the payload twice (see
     CondorGScheduler.release_credential_holds)."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=400.0), resource="wisc-gk")
     tb.run(until=100.0)
     job = agent.scheduler.jobs[jid]

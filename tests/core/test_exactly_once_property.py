@@ -29,6 +29,7 @@ from hypothesis import given, settings, strategies as st
 from repro import GridTestbed, JobDescription
 from repro.chaos.invariants import check_exactly_once
 from repro.states import JobState
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 N_JOBS = 3
 RUNTIME = 150.0
@@ -72,9 +73,9 @@ def _done_count(agent, job_ids):
        seed=st.integers(0, 10**6))
 @settings(max_examples=25, deadline=None)
 def test_exactly_once_under_random_failures(schedule, loss, seed):
-    tb = GridTestbed(seed=seed, loss_rate=loss)
-    site = tb.add_site("site", scheduler="pbs", cpus=N_JOBS * 2)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=seed, loss_rate=loss))
+    site = tb.add_site(SiteSpec("site", scheduler="pbs", cpus=N_JOBS * 2))
+    agent = tb.add_agent(AgentSpec("user"))
     ids = [agent.submit(JobDescription(runtime=RUNTIME + 10 * i),
                         resource="site-gk") for i in range(N_JOBS)]
 
@@ -139,10 +140,10 @@ def test_one_tenants_faults_never_wedge_the_other(faults, seed):
     its jobs DONE; A must still land on honest terminal verdicts; and
     the exactly-once join must hold for both tenants together.
     """
-    tb = GridTestbed(seed=seed)
-    site = tb.add_site("site", scheduler="pbs", cpus=4)
-    alice = tb.add_agent("alice")
-    bob = tb.add_agent("bob")
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    site = tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4))
+    alice = tb.add_agent(AgentSpec("alice"))
+    bob = tb.add_agent(AgentSpec("bob"))
     a_ids = [alice.submit(JobDescription(runtime=RUNTIME + 10 * i),
                           resource="site-gk") for i in range(N_JOBS)]
     b_ids = [bob.submit(JobDescription(runtime=RUNTIME + 10 * i),

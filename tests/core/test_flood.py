@@ -5,12 +5,13 @@ import pytest
 from repro import GridTestbed, JobDescription
 from repro.core.flood import FloodingSubmitter
 from repro.workloads import saturate
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=91):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("busy", scheduler="pbs", cpus=4)
-    tb.add_site("idle", scheduler="pbs", cpus=4)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("busy", scheduler="pbs", cpus=4))
+    tb.add_site(SiteSpec("idle", scheduler="pbs", cpus=4))
     saturate(tb.sites["busy"].lrm, jobs=16, runtime=2000.0)
     return tb
 
@@ -22,7 +23,7 @@ def run_until(tb, done, cap=3 * 10**4):
 
 def test_flood_picks_fast_site_and_cancels_queued():
     tb = make_tb()
-    agent = tb.add_agent("user")
+    agent = tb.add_agent(AgentSpec("user"))
     flood = FloodingSubmitter(agent)
     logical = flood.submit(JobDescription(runtime=300.0),
                            sites=["busy-gk", "idle-gk"])
@@ -43,7 +44,7 @@ def test_flood_picks_fast_site_and_cancels_queued():
 
 def test_flood_single_site_degenerates_to_plain_submit():
     tb = make_tb()
-    agent = tb.add_agent("user")
+    agent = tb.add_agent(AgentSpec("user"))
     flood = FloodingSubmitter(agent)
     logical = flood.submit(JobDescription(runtime=100.0),
                            sites=["idle-gk"])
@@ -53,10 +54,10 @@ def test_flood_single_site_degenerates_to_plain_submit():
 
 
 def test_flood_counts_wasted_execution_when_both_start():
-    tb = GridTestbed(seed=92)
-    tb.add_site("a", scheduler="pbs", cpus=4)
-    tb.add_site("b", scheduler="pbs", cpus=4)   # both idle: both start
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=92))
+    tb.add_site(SiteSpec("a", scheduler="pbs", cpus=4))
+    tb.add_site(SiteSpec("b", scheduler="pbs", cpus=4))   # both idle: both start
+    agent = tb.add_agent(AgentSpec("user"))
     flood = FloodingSubmitter(agent)
     logical = flood.submit(JobDescription(runtime=400.0),
                            sites=["a-gk", "b-gk"])
@@ -67,9 +68,9 @@ def test_flood_counts_wasted_execution_when_both_start():
 
 
 def test_flood_fails_if_all_replicas_fail():
-    tb = GridTestbed(seed=93)
-    tb.add_site("a", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=93))
+    tb.add_site(SiteSpec("a", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("user"))
     flood = FloodingSubmitter(agent)
     logical = flood.submit(JobDescription(runtime=50.0, exit_code=1),
                            sites=["a-gk"])
@@ -79,7 +80,7 @@ def test_flood_fails_if_all_replicas_fail():
 
 def test_flood_requires_sites():
     tb = make_tb()
-    agent = tb.add_agent("user")
+    agent = tb.add_agent(AgentSpec("user"))
     flood = FloodingSubmitter(agent)
     with pytest.raises(ValueError):
         flood.submit(JobDescription(runtime=1.0), sites=[])

@@ -5,17 +5,18 @@ remote syscalls and checkpointing, idle shutdown, allocation expiry."""
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=21, cpus=4, **kw):
-    tb = GridTestbed(seed=seed, **kw)
-    tb.add_site("wisc", scheduler="pbs", cpus=cpus)
+    tb = GridTestbed(TestbedConfig(seed=seed, **kw))
+    tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=cpus))
     return tb
 
 
 def test_glidein_joins_personal_pool():
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=2, walltime=5000.0)
     tb.run(until=300.0)
     assert agent.collector.count("startd") == 2
@@ -27,7 +28,7 @@ def test_glidein_joins_personal_pool():
 
 def test_glidein_bootstrap_fetches_binaries_from_repo():
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=2, walltime=5000.0)
     tb.run(until=300.0)
     # binaries fetched once per machine (cached for the second glidein)
@@ -41,7 +42,7 @@ def test_figure2_job_runs_on_glidein():
     is matched onto a glided-in startd and completes, with remote
     syscalls served by a shadow on the submit machine."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=1, walltime=50000.0)
     jid = agent.submit(JobDescription(runtime=100.0, universe="standard",
                                       io_interval=20.0, io_bytes=512))
@@ -63,7 +64,7 @@ def test_glidein_idle_shutdown():
     """'Daemons shut down gracefully when they do not receive any jobs
     to execute after a (configurable) amount of time.'"""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=1, walltime=100000.0,
                    idle_timeout=300.0)
     tb.run(until=200.0)
@@ -81,7 +82,7 @@ def test_allocation_expiry_reschedules_running_job():
     allocation, the shadow lease notices, and the job reruns on a fresh
     glidein."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     # first glidein dies at t=600; second, longer one picks up the rerun
     agent.glide_in("wisc-gk", count=1, walltime=600.0, idle_timeout=10**6)
     jid = agent.submit(JobDescription(runtime=2000.0, universe="standard"))
@@ -97,7 +98,7 @@ def test_allocation_expiry_reschedules_running_job():
 
 def test_standard_universe_checkpoint_preserves_goodput():
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=1, walltime=900.0, idle_timeout=10**6)
     jid = agent.submit(JobDescription(runtime=2000.0, universe="standard"))
     tb.run(until=1000.0)
@@ -114,7 +115,7 @@ def test_standard_universe_checkpoint_preserves_goodput():
 def test_glideins_capacity_limited_by_site():
     """Site has 4 cpus; asking for 6 glideins runs at most 4 at once."""
     tb = make_tb(cpus=4)
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=6, walltime=2000.0, idle_timeout=10**6)
     tb.run(until=500.0)
     assert agent.collector.count("startd") <= 4
@@ -125,9 +126,9 @@ def test_glideins_capacity_limited_by_site():
 
 def test_flood_glideins_across_sites():
     tb = make_tb()
-    tb.add_site("anl", scheduler="lsf", cpus=4)
-    tb.add_site("ncsa", scheduler="loadleveler", cpus=4)
-    agent = tb.add_agent("alice")
+    tb.add_site(SiteSpec("anl", scheduler="lsf", cpus=4))
+    tb.add_site(SiteSpec("ncsa", scheduler="loadleveler", cpus=4))
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.flood_glideins([s.contact for s in tb.sites.values()],
                          per_site=2, walltime=5000.0)
     tb.run(until=400.0)
@@ -140,7 +141,7 @@ def test_delayed_binding_job_waits_locally_not_remotely():
     """Jobs queue at the *agent*, not in any site queue: before glideins
     arrive the remote LRM sees no user job at all."""
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=50.0, universe="vanilla"))
     tb.run(until=300.0)
     assert agent.schedd.jobs[jid].state == "IDLE"      # queued locally

@@ -13,17 +13,18 @@ from repro import GridTestbed, JobDescription
 from repro.core.gridmanager import GridManager
 from repro.gram.client import Gram2Client, GramClientError
 from repro.sim.errors import AuthenticationError
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=44):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("site", scheduler="pbs", cpus=4)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4))
     return tb
 
 
 def test_poll_loop_routes_auth_errors_to_credential_hold(monkeypatch):
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     jid = agent.submit(JobDescription(runtime=800.0), resource="site-gk")
     tb.run(until=15.0)
     assert agent.status(jid).state in ("PENDING", "ACTIVE")
@@ -52,7 +53,7 @@ def test_poll_loop_routes_auth_errors_to_credential_hold(monkeypatch):
 
 def test_submission_failure_reason_is_not_masked(monkeypatch):
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
 
     def bad_phase1(self, resource, request, seq, callback):
         raise GramClientError(
@@ -85,9 +86,9 @@ def test_unacknowledged_commit_does_not_resubmit():
     JobManager may already be running the job.  The GridManager used to
     exhaust its commit retries and resubmit -- executing the job twice.
     It must park the job under the probe machinery instead."""
-    tb = GridTestbed(seed=268, loss_rate=0.15)
-    site = tb.add_site("site", scheduler="pbs", cpus=6)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=268, loss_rate=0.15))
+    site = tb.add_site(SiteSpec("site", scheduler="pbs", cpus=6))
+    agent = tb.add_agent(AgentSpec("user"))
     ids = [agent.submit(JobDescription(runtime=150.0 + 10 * i),
                         resource="site-gk") for i in range(3)]
     tb.failures.crash_host_at(11.0, site.gk_host, down_for=30.0)
@@ -107,7 +108,7 @@ def test_unacknowledged_commit_does_not_resubmit():
 
 def test_phase1_auth_failure_holds_instead_of_failing(monkeypatch):
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
 
     def bad_phase1(self, resource, request, seq, callback):
         raise AuthenticationError("bad proxy signature")

@@ -10,22 +10,23 @@ import pytest
 
 from repro import GridTestbed, JobDescription
 from repro.core.broker import MDSBroker
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 @pytest.fixture
 def tb():
-    testbed = GridTestbed(seed=88, use_gsi=True)
-    testbed.add_site("pbs-site", scheduler="pbs", cpus=4)
-    testbed.add_site("lsf-site", scheduler="lsf", cpus=4)
-    testbed.add_site("ll-site", scheduler="loadleveler", cpus=4)
-    testbed.add_site("nqe-site", scheduler="nqe", cpus=4)
-    testbed.add_site("condor-site", scheduler="condor", cpus=4,
-                     arch="SPARC")
+    testbed = GridTestbed(TestbedConfig(seed=88, use_gsi=True))
+    testbed.add_site(SiteSpec("pbs-site", scheduler="pbs", cpus=4))
+    testbed.add_site(SiteSpec("lsf-site", scheduler="lsf", cpus=4))
+    testbed.add_site(SiteSpec("ll-site", scheduler="loadleveler", cpus=4))
+    testbed.add_site(SiteSpec("nqe-site", scheduler="nqe", cpus=4))
+    testbed.add_site(SiteSpec("condor-site", scheduler="condor", cpus=4,
+                     arch="SPARC"))
     return testbed
 
 
 def test_one_agent_reaches_every_scheduler_type(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     ids = {}
     for site in tb.sites.values():
         ids[site.name] = agent.submit(JobDescription(runtime=60.0),
@@ -44,7 +45,7 @@ def test_one_agent_reaches_every_scheduler_type(tb):
 
 def test_per_site_identity_mapping_is_transparent(tb):
     """§3.2: 'this mapping is transparent to the user.'"""
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     for site in tb.sites.values():
         agent.submit(JobDescription(runtime=30.0), resource=site.contact)
     tb.run_until_quiet(max_time=3 * 10**4)
@@ -57,7 +58,7 @@ def test_per_site_identity_mapping_is_transparent(tb):
 
 
 def test_architecture_constraint_across_heterogeneous_sites(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.scheduler.broker = MDSBroker(
         agent.host, "mds", requirements='Arch == "SPARC"')
     tb.run(until=200.0)
@@ -70,7 +71,7 @@ def test_unified_view_of_dispersed_resources(tb):
     """§4.1: the user sees one queue over all sites (condor_q)."""
     from repro.core.tools import condor_q
 
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     for site in list(tb.sites.values())[:3]:
         agent.submit(JobDescription(runtime=800.0),
                      resource=site.contact)

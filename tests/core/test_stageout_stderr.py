@@ -3,17 +3,18 @@
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 @pytest.fixture
 def tb():
-    testbed = GridTestbed(seed=99)
-    testbed.add_site("wisc", scheduler="pbs", cpus=4)
+    testbed = GridTestbed(TestbedConfig(seed=99))
+    testbed.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
     return testbed
 
 
 def test_stderr_streams_separately(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
 
     def noisy(ctx):
         ctx.write_output("result line\n")
@@ -33,7 +34,7 @@ def test_stderr_streams_separately(tb):
 
 
 def test_output_files_staged_out_on_completion(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
 
     def producer(ctx):
         yield ctx.sim.timeout(40.0)
@@ -58,7 +59,7 @@ def test_output_files_staged_out_on_completion(tb):
 
 
 def test_missing_declared_output_degrades_gracefully(tb):
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
 
     def lazy(ctx):
         yield ctx.sim.timeout(20.0)
@@ -77,7 +78,7 @@ def test_missing_declared_output_degrades_gracefully(tb):
 def test_stage_out_survives_jobmanager_restart(tb):
     """Output files live on the site's disk: a JobManager crash before
     stage-out does not lose them -- the revived JobManager ships them."""
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
 
     def producer(ctx):
         ctx.write_file("late.dat", size=5_000)

@@ -8,6 +8,7 @@ from repro.core.submitfile import (
     parse_submit_file,
     submit_from_file,
 )
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 BASIC = """
 # a grid job
@@ -93,9 +94,9 @@ class TestParser:
 
 class TestEndToEnd:
     def test_condor_submit_runs_the_sweep(self):
-        tb = GridTestbed(seed=98)
-        tb.add_site("wisc", scheduler="pbs", cpus=8)
-        agent = tb.add_agent("alice")
+        tb = GridTestbed(TestbedConfig(seed=98))
+        tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=8))
+        agent = tb.add_agent(AgentSpec("alice"))
         ids = submit_from_file(agent,
                                "executable = sweep.exe\n"
                                "arguments = --point $(Process)\n"

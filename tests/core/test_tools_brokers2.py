@@ -5,13 +5,14 @@ import pytest
 from repro import GridTestbed, JobDescription
 from repro.core.broker import MatchmakingBroker
 from repro.core.tools import condor_history, condor_q, condor_status
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 class TestTools:
     def make(self):
-        tb = GridTestbed(seed=95)
-        tb.add_site("wisc", scheduler="pbs", cpus=4)
-        agent = tb.add_agent("alice")
+        tb = GridTestbed(TestbedConfig(seed=95))
+        tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=4))
+        agent = tb.add_agent(AgentSpec("alice"))
         return tb, agent
 
     def test_condor_q_shows_running_jobs(self):
@@ -55,15 +56,15 @@ class TestTools:
         assert "yes" in out
 
     def test_condor_status_without_pool(self):
-        tb = GridTestbed(seed=95)
-        tb.add_site("wisc", scheduler="pbs", cpus=2)
-        agent = tb.add_agent("bob", personal_pool=False)
+        tb = GridTestbed(TestbedConfig(seed=95))
+        tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=2))
+        agent = tb.add_agent(AgentSpec("bob", personal_pool=False))
         assert "no personal pool" in condor_status(agent)
 
     def test_condor_q_shows_hold_reason(self):
-        tb = GridTestbed(seed=96, use_gsi=True)
-        tb.add_site("wisc", scheduler="pbs", cpus=2)
-        agent = tb.add_agent("carol", proxy_lifetime=100.0)
+        tb = GridTestbed(TestbedConfig(seed=96, use_gsi=True))
+        tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=2))
+        agent = tb.add_agent(AgentSpec("carol", proxy_lifetime=100.0))
         tb.run(until=200.0)
         jid = agent.submit(JobDescription(runtime=50.0),
                            resource="wisc-gk")
@@ -77,9 +78,9 @@ class TestMatchmakingBroker:
     def test_bilateral_resource_requirements_respected(self):
         """A resource ad can refuse wide jobs -- the MDSBroker cannot
         express that; the MatchmakingBroker honours it."""
-        tb = GridTestbed(seed=97)
-        tb.add_site("small", scheduler="pbs", cpus=16)
-        tb.add_site("big", scheduler="pbs", cpus=16)
+        tb = GridTestbed(TestbedConfig(seed=97))
+        tb.add_site(SiteSpec("small", scheduler="pbs", cpus=16))
+        tb.add_site(SiteSpec("big", scheduler="pbs", cpus=16))
         # patch the small site's published ad with its own Requirements
         small = tb.sites["small"]
         original = tb._site_ad
@@ -91,7 +92,7 @@ class TestMatchmakingBroker:
             return ad
 
         tb._site_ad = ad_source
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         agent.scheduler.broker = MatchmakingBroker(
             agent.host, "mds", rank="-AllocationCost")
         tb.run(until=200.0)
@@ -103,10 +104,10 @@ class TestMatchmakingBroker:
         assert agent.status(narrow).is_complete
 
     def test_job_side_requirements(self):
-        tb = GridTestbed(seed=97)
-        tb.add_site("intel", scheduler="pbs", cpus=8, arch="INTEL")
-        tb.add_site("sparc", scheduler="pbs", cpus=8, arch="SPARC")
-        agent = tb.add_agent("alice")
+        tb = GridTestbed(TestbedConfig(seed=97))
+        tb.add_site(SiteSpec("intel", scheduler="pbs", cpus=8, arch="INTEL"))
+        tb.add_site(SiteSpec("sparc", scheduler="pbs", cpus=8, arch="SPARC"))
+        agent = tb.add_agent(AgentSpec("alice"))
         agent.scheduler.broker = MatchmakingBroker(
             agent.host, "mds", requirements='TARGET.Arch == "SPARC"')
         tb.run(until=200.0)
@@ -115,9 +116,9 @@ class TestMatchmakingBroker:
         assert agent.status(jid).resource == "sparc-gk"
 
     def test_no_match_keeps_job_queued(self):
-        tb = GridTestbed(seed=97)
-        tb.add_site("intel", scheduler="pbs", cpus=8)
-        agent = tb.add_agent("alice")
+        tb = GridTestbed(TestbedConfig(seed=97))
+        tb.add_site(SiteSpec("intel", scheduler="pbs", cpus=8))
+        agent = tb.add_agent(AgentSpec("alice"))
         agent.scheduler.broker = MatchmakingBroker(
             agent.host, "mds", requirements='TARGET.Arch == "ALPHA"')
         tb.run(until=200.0)

@@ -4,6 +4,7 @@ import pytest
 
 from repro import GridTestbed, JobDescription
 from repro.dagman import Dag, DagError, DagMan, DagNode, parse_dag
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 
@@ -88,13 +89,13 @@ class TestParser:
 
 class TestEngine:
     def make_tb(self):
-        tb = GridTestbed(seed=6)
-        tb.add_site("wisc", scheduler="pbs", cpus=8)
+        tb = GridTestbed(TestbedConfig(seed=6))
+        tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=8))
         return tb
 
     def test_linear_chain_runs_in_order(self):
         tb = self.make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag = Dag()
         for name in ("a", "b", "c"):
             dag.add_node(DagNode(name,
@@ -115,7 +116,7 @@ class TestEngine:
 
     def test_diamond_parallelism(self):
         tb = self.make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag = Dag()
         for name in ("src", "l", "r", "sink"):
             dag.add_node(DagNode(name,
@@ -133,7 +134,7 @@ class TestEngine:
 
     def test_failed_node_blocks_descendants(self):
         tb = self.make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag = Dag()
         dag.add_node(DagNode("bad",
                              description=JobDescription(runtime=10.0,
@@ -152,7 +153,7 @@ class TestEngine:
     def test_retry_eventually_succeeds(self):
         """PRE script fails twice then passes: RETRY absorbs it."""
         tb = self.make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         attempts = {"n": 0}
 
         def flaky_pre(ctx):
@@ -173,7 +174,7 @@ class TestEngine:
 
     def test_action_node_runs_generator(self):
         tb = self.make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         ran = []
 
         def transfer(ctx):
@@ -194,11 +195,11 @@ class TestCMSPipeline:
         from repro.sim import Host
         from repro.workloads import CMSConfig, build_cms_dag
 
-        tb = GridTestbed(seed=61)
-        tb.add_site("wisc", scheduler="condor", cpus=10)
-        tb.add_site("ncsa", scheduler="pbs", cpus=8)
+        tb = GridTestbed(TestbedConfig(seed=61))
+        tb.add_site(SiteSpec("wisc", scheduler="condor", cpus=10))
+        tb.add_site(SiteSpec("ncsa", scheduler="pbs", cpus=8))
         repo = GridFTPServer(Host(tb.sim, "ncsa-mss"))
-        agent = tb.add_agent("caltech")
+        agent = tb.add_agent(AgentSpec("caltech"))
         config = CMSConfig(
             simulation_site="wisc-gk",
             reconstruction_site="ncsa-gk",

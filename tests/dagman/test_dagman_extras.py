@@ -4,11 +4,12 @@ import pytest
 
 from repro import GridTestbed, JobDescription
 from repro.dagman import Dag, DagMan, DagNode, parse_dag
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=66):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("wisc", scheduler="pbs", cpus=8)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=8))
     return tb
 
 
@@ -36,7 +37,7 @@ class TestRescue:
 
     def test_failed_run_writes_rescue_and_resume_skips_done(self):
         tb = make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag1 = self.build(fail_b=True)
         dm1 = DagMan(agent, dag1, name="physics")
         run_dag(tb, dm1)
@@ -61,7 +62,7 @@ class TestRescue:
 
     def test_successful_run_clears_rescue(self):
         tb = make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag1 = self.build(fail_b=False)
         dm1 = DagMan(agent, dag1, name="clean")
         run_dag(tb, dm1)
@@ -72,7 +73,7 @@ class TestRescue:
 
     def test_rescue_survives_submit_machine_crash(self):
         tb = make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag1 = self.build(fail_b=True)
         dm1 = DagMan(agent, dag1, name="durable")
         run_dag(tb, dm1)
@@ -87,7 +88,7 @@ class TestRescue:
 class TestThrottleAndPriority:
     def test_maxjobs_limits_concurrency(self):
         tb = make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag = Dag()
         for i in range(6):
             dag.add_node(DagNode(f"n{i}",
@@ -111,7 +112,7 @@ class TestThrottleAndPriority:
 
     def test_priority_orders_launch_under_throttle(self):
         tb = make_tb()
-        agent = tb.add_agent("alice")
+        agent = tb.add_agent(AgentSpec("alice"))
         dag = Dag()
         dag.add_node(DagNode("low", priority=0,
                              description=JobDescription(runtime=50.0),

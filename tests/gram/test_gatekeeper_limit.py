@@ -5,6 +5,7 @@ import pytest
 from repro import GridTestbed, JobDescription
 from repro.gram import GramJobRequest
 from repro.sim import RemoteError, call
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 from .conftest import MiniGrid
 
@@ -54,10 +55,10 @@ def test_terminal_jobmanagers_do_not_count():
 def test_agent_backs_off_and_eventually_runs_everything():
     """A batch bigger than the gatekeeper's limit drains via the
     GridManager's transient-failure retry path."""
-    tb = GridTestbed(seed=5)
-    site = tb.add_site("wisc", scheduler="pbs", cpus=8)
+    tb = GridTestbed(TestbedConfig(seed=5))
+    site = tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=8))
     site.gatekeeper.max_jobmanagers = 3
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     ids = [agent.submit(JobDescription(runtime=100.0),
                         resource="wisc-gk") for i in range(9)]
     tb.run_until_quiet(max_time=3 * 10**4)
@@ -133,11 +134,11 @@ def test_per_user_slots_free_up_when_jobmanagers_finish():
 def test_two_agents_drain_behind_per_user_caps():
     """End to end: a hog and a light user share a capped site; both
     drain, and the rejections land on the hog alone."""
-    tb = GridTestbed(seed=11)
-    site = tb.add_site("wisc", scheduler="pbs", cpus=8)
+    tb = GridTestbed(TestbedConfig(seed=11))
+    site = tb.add_site(SiteSpec("wisc", scheduler="pbs", cpus=8))
     site.gatekeeper.max_user_jobmanagers = 2
-    hog = tb.add_agent("hog")
-    light = tb.add_agent("light")
+    hog = tb.add_agent(AgentSpec("hog"))
+    light = tb.add_agent(AgentSpec("light"))
     hog_ids = [hog.submit(JobDescription(runtime=100.0),
                           resource="wisc-gk") for _ in range(8)]
     light_ids = [light.submit(JobDescription(runtime=100.0),

@@ -69,7 +69,8 @@ def test_config_and_kwargs_are_mutually_exclusive():
         tb.add_agent(AgentSpec("u"), personal_pool=False)
 
 
-def test_legacy_kwargs_still_work_with_deprecation():
+def test_legacy_kwargs_still_work_with_deprecation(monkeypatch):
+    monkeypatch.delenv("REPRO_STRICT_API", raising=False)
     with pytest.warns(DeprecationWarning):
         tb = GridTestbed(seed=1, latency=0.1)
     assert tb.config.latency == 0.1
@@ -86,7 +87,8 @@ def test_legacy_kwargs_still_work_with_deprecation():
     assert agent.status(jid).is_complete
 
 
-def test_legacy_lrm_options_pass_through():
+def test_legacy_lrm_options_pass_through(monkeypatch):
+    monkeypatch.delenv("REPRO_STRICT_API", raising=False)
     tb = GridTestbed()     # bare constructor is fine, not deprecated
     # unknown kwargs are LRM options, known ones are SiteSpec fields
     with pytest.warns(DeprecationWarning):

@@ -3,13 +3,14 @@
 import pytest
 
 from repro import GridTestbed, JobDescription
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def test_cost_report_charges_per_site_rates():
-    tb = GridTestbed(seed=77, use_gsi=True)
-    tb.add_site("cheap", scheduler="pbs", cpus=4, allocation_cost=1.0)
-    tb.add_site("pricey", scheduler="pbs", cpus=4, allocation_cost=10.0)
-    agent = tb.add_agent("alice")
+    tb = GridTestbed(TestbedConfig(seed=77, use_gsi=True))
+    tb.add_site(SiteSpec("cheap", scheduler="pbs", cpus=4, allocation_cost=1.0))
+    tb.add_site(SiteSpec("pricey", scheduler="pbs", cpus=4, allocation_cost=10.0))
+    agent = tb.add_agent(AgentSpec("alice"))
     # one CPU-hour at each site
     agent.submit(JobDescription(runtime=3600.0), resource="cheap-gk")
     agent.submit(JobDescription(runtime=3600.0), resource="pricey-gk")
@@ -21,10 +22,10 @@ def test_cost_report_charges_per_site_rates():
 
 
 def test_cost_report_ignores_other_users():
-    tb = GridTestbed(seed=77, use_gsi=True)
-    tb.add_site("site", scheduler="pbs", cpus=4, allocation_cost=2.0)
-    alice = tb.add_agent("alice")
-    bob = tb.add_agent("bob")
+    tb = GridTestbed(TestbedConfig(seed=77, use_gsi=True))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4, allocation_cost=2.0))
+    alice = tb.add_agent(AgentSpec("alice"))
+    bob = tb.add_agent(AgentSpec("bob"))
     alice.submit(JobDescription(runtime=1800.0), resource="site-gk")
     bob.submit(JobDescription(runtime=3600.0), resource="site-gk")
     tb.run_until_quiet(max_time=10**5)

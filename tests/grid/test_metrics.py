@@ -6,6 +6,7 @@ from repro import GridTestbed, JobDescription
 from repro.grid.metrics import concurrency, concurrency_from_snapshot, \
     percentile, queue_waits, registry_concurrency, timeline
 from repro.sim import Simulator
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_trace(records):
@@ -137,9 +138,9 @@ def test_snapshot_concurrency_empty_registry():
 def test_registry_concurrency_matches_trace_replay():
     """The incremental busy-slot gauge and the O(n) trace replay must
     describe the same run identically (1-cpu jobs)."""
-    tb = GridTestbed(seed=77)
-    tb.add_site("site", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=77))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("user"))
     ids = [agent.submit(JobDescription(runtime=60.0 + 10 * i),
                         resource="site-gk") for i in range(6)]
     tb.sim.run(until=4000.0)

@@ -127,6 +127,13 @@ class TestSchedulerIdentityShims:
     """The single-user-era `user` arguments: warn when redundant, raise
     when cross-wired, so N-agent wiring bugs cannot pass silently."""
 
+    @pytest.fixture(autouse=True)
+    def _warn_path(self, monkeypatch):
+        # These tests cover the deprecation *warn* path; strict mode
+        # (REPRO_STRICT_API=1, on in CI) would turn every shim call into
+        # a TypeError before the behaviour under test is reached.
+        monkeypatch.delenv("REPRO_STRICT_API", raising=False)
+
     def _scheduler(self):
         tb, _ = _small_grid(users=1, jobs=1)
         return tb.agents["u0"].scheduler

@@ -1,0 +1,87 @@
+"""REPRO_STRICT_API: the one-variable cutover from warn to raise.
+
+CI runs the whole suite with the flag set, so these tests are the spec
+for what "strict" means: every deprecated entry point raises TypeError
+instead of warning, while the typed API is untouched.
+"""
+
+import warnings
+
+import pytest
+
+from repro import GridTestbed, JobDescription
+from repro.compat import STRICT_ENV, strict_api
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
+
+
+@pytest.fixture
+def strict(monkeypatch):
+    monkeypatch.setenv(STRICT_ENV, "1")
+
+
+@pytest.fixture
+def lenient(monkeypatch):
+    monkeypatch.delenv(STRICT_ENV, raising=False)
+
+
+def test_strict_api_reads_environment(monkeypatch):
+    monkeypatch.delenv(STRICT_ENV, raising=False)
+    assert not strict_api()
+    monkeypatch.setenv(STRICT_ENV, "1")
+    assert strict_api()
+    monkeypatch.setenv(STRICT_ENV, "")
+    assert not strict_api()
+
+
+def test_legacy_constructor_raises_in_strict_mode(strict):
+    with pytest.raises(TypeError):
+        GridTestbed(seed=3)
+
+
+def test_legacy_add_site_and_add_agent_raise(strict):
+    tb = GridTestbed(TestbedConfig(seed=3))
+    with pytest.raises(TypeError):
+        tb.add_site("wisc", scheduler="pbs", cpus=2)
+    with pytest.raises(TypeError):
+        tb.add_agent("alice")
+
+
+def test_scheduler_user_shims_raise(strict):
+    tb = GridTestbed(TestbedConfig(seed=3))
+    tb.add_site(SiteSpec("s", scheduler="pbs", cpus=2))
+    agent = tb.add_agent(AgentSpec("alice"))
+    with pytest.raises(TypeError):
+        agent.scheduler.jobs_for_user("alice")
+    with pytest.raises(TypeError):
+        agent.scheduler.hold_for_credentials("alice", reason="x")
+
+
+def test_typed_api_unaffected_by_strict_mode(strict):
+    tb = GridTestbed(TestbedConfig(seed=3))
+    site = tb.add_site(SiteSpec("s", scheduler="pbs", cpus=2))
+    agent = tb.add_agent(AgentSpec("alice", personal_pool=False))
+    jid = agent.submit(JobDescription(runtime=20.0),
+                       resource=site.contact)
+    tb.run_until_quiet()
+    assert agent.status(jid).is_complete
+
+
+def test_lenient_mode_warns_and_still_works(lenient):
+    with pytest.warns(DeprecationWarning):
+        tb = GridTestbed(seed=3)
+    with pytest.warns(DeprecationWarning):
+        site = tb.add_site("s", scheduler="pbs", cpus=2)
+    with pytest.warns(DeprecationWarning):
+        agent = tb.add_agent("alice", personal_pool=False)
+    jid = agent.submit(JobDescription(runtime=20.0),
+                       resource=site.contact)
+    tb.run_until_quiet()
+    assert agent.status(jid).is_complete
+
+
+def test_typed_api_never_warns(lenient):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        tb = GridTestbed(TestbedConfig(seed=3))
+        tb.add_site(SiteSpec("s", scheduler="pbs", cpus=2))
+        tb.add_agent(AgentSpec("alice", personal_pool=False))

@@ -7,6 +7,7 @@ import pytest
 
 from repro import GridTestbed, JobDescription
 from repro.sim import SimulationError, Simulator
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def test_counter_total_and_labels():
@@ -111,9 +112,9 @@ def test_snapshot_shape_and_json_export():
 
 
 def _run_scenario(seed):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("site", scheduler="pbs", cpus=4)
-    agent = tb.add_agent("user")
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("site", scheduler="pbs", cpus=4))
+    agent = tb.add_agent(AgentSpec("user"))
     ids = [agent.submit(JobDescription(runtime=50.0 + i), resource="site-gk")
            for i in range(4)]
     tb.sim.run(until=2000.0)

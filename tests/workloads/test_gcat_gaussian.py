@@ -11,13 +11,14 @@ from repro.workloads import (
     expected_output,
     gaussian_program,
 )
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_env(seed=71):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("ncsa", scheduler="pbs", cpus=4)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("ncsa", scheduler="pbs", cpus=4))
     mss = GridFTPServer(Host(tb.sim, "mss"))
-    agent = tb.add_agent("portal")
+    agent = tb.add_agent(AgentSpec("portal"))
     return tb, mss, agent
 
 

@@ -5,11 +5,12 @@ import pytest
 
 from repro import GridTestbed
 from repro.workloads import QAPInstance, QAPMaster, SyntheticMaster
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
 
 
 def make_tb(seed=41, cpus=8):
-    tb = GridTestbed(seed=seed)
-    tb.add_site("wisc", scheduler="condor", cpus=cpus)
+    tb = GridTestbed(TestbedConfig(seed=seed))
+    tb.add_site(SiteSpec("wisc", scheduler="condor", cpus=cpus))
     return tb
 
 
@@ -23,7 +24,7 @@ def run_until_done(tb, master, cap, chunk=2000.0):
 
 def test_synthetic_master_completes_all_tasks():
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=4, walltime=10**6, idle_timeout=10**6)
     master = SyntheticMaster(agent, n_tasks=20, mean_work=50.0)
     master.submit_workers(4)
@@ -36,7 +37,7 @@ def test_synthetic_master_completes_all_tasks():
 
 def test_workers_exit_when_pool_drained():
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=2, walltime=10**6, idle_timeout=10**6)
     master = SyntheticMaster(agent, n_tasks=6, mean_work=20.0)
     ids = master.submit_workers(2)
@@ -48,7 +49,7 @@ def test_vacated_worker_tasks_requeued():
     """Kill a glidein mid-run: its leased task is recovered and finished
     by the surviving worker."""
     tb = make_tb(cpus=4)
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=2, walltime=10**6, idle_timeout=10**6)
     master = SyntheticMaster(agent, n_tasks=8, mean_work=200.0)
     master.submit_workers(2)
@@ -73,7 +74,7 @@ def test_qap_master_finds_optimum_distributed():
     sequential = QAPBranchAndBound(inst).solve()
 
     tb = make_tb()
-    agent = tb.add_agent("alice")
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=4, walltime=10**7, idle_timeout=10**7)
     master = QAPMaster(agent, inst, time_per_lap=1.0)
     master.submit_workers(4)
@@ -88,10 +89,9 @@ def test_qap_master_finds_optimum_distributed():
 def test_qap_master_survives_preemption():
     """Condor-pool owners reclaim workstations mid-solve; the answer is
     still exact."""
-    tb = GridTestbed(seed=43)
-    tb.add_site("wisc", scheduler="condor", cpus=4,
-                owner_mtbf=600.0, owner_busy_time=60.0)
-    agent = tb.add_agent("alice")
+    tb = GridTestbed(TestbedConfig(seed=43))
+    tb.add_site(SiteSpec("wisc", scheduler="condor", cpus=4, lrm_options={"owner_mtbf": 600.0, "owner_busy_time": 60.0}))
+    agent = tb.add_agent(AgentSpec("alice"))
     agent.glide_in("wisc-gk", count=3, walltime=10**7, idle_timeout=10**7)
     inst = QAPInstance.random(6, seed=9)
     master = QAPMaster(agent, inst, time_per_lap=2.0)

@@ -1,0 +1,116 @@
+"""Synthetic bursty traffic: deterministic arrival traces, diurnal and
+flash-crowd rate shaping, and end-to-end replay through real agents."""
+
+from repro import GridTestbed
+from repro.factory import FactoryPolicy
+from repro.chaos.digest import run_digest
+from repro.grid.config import AgentSpec, SiteSpec, TestbedConfig
+from repro.sim import Simulator
+from repro.workloads.synthetic import (TrafficProfile, generate_arrivals,
+                                       peak_rate, traffic_rate)
+
+
+def _profile(**kw):
+    base = dict(users=50, horizon=600.0, base_rate=0.2,
+                runtime_min=10.0, runtime_cap=100.0)
+    base.update(kw)
+    return TrafficProfile(**base)
+
+
+def test_same_seed_same_trace():
+    a = generate_arrivals(Simulator(seed=7).rng.stream("traffic"),
+                          _profile())
+    b = generate_arrivals(Simulator(seed=7).rng.stream("traffic"),
+                          _profile())
+    assert a == b
+    assert a, "empty trace would make the test vacuous"
+
+
+def test_different_seed_different_trace():
+    a = generate_arrivals(Simulator(seed=7).rng.stream("traffic"),
+                          _profile())
+    b = generate_arrivals(Simulator(seed=8).rng.stream("traffic"),
+                          _profile())
+    assert a != b
+
+
+def test_arrivals_respect_profile_bounds():
+    profile = _profile(users=20)
+    arrivals = generate_arrivals(
+        Simulator(seed=3).rng.stream("traffic"), profile)
+    assert all(0.0 <= a.time <= profile.horizon for a in arrivals)
+    assert all(0 <= a.user < 20 for a in arrivals)
+    assert all(profile.runtime_min <= a.runtime <= profile.runtime_cap
+               for a in arrivals)
+    assert arrivals == sorted(arrivals, key=lambda a: a.time)
+
+
+def test_flash_crowd_multiplies_rate():
+    profile = _profile(flash_at=(300.0,), flash_multiplier=10.0,
+                       flash_duration=60.0)
+    inside = traffic_rate(profile, 330.0)
+    outside = traffic_rate(profile, 200.0)
+    assert inside == 10.0 * outside
+    assert peak_rate(profile) >= inside
+
+
+def test_diurnal_cycle_shapes_rate():
+    profile = _profile(diurnal_amplitude=0.5, diurnal_period=400.0)
+    crest = traffic_rate(profile, 100.0)      # sin peak of the period
+    trough = traffic_rate(profile, 300.0)
+    assert crest > profile.base_rate > trough
+    assert trough >= 0.0
+
+
+def _burst_tb(seed):
+    profile = TrafficProfile(users=40, horizon=400.0, base_rate=0.15,
+                             flash_at=(100.0,), flash_multiplier=6.0,
+                             flash_duration=60.0, runtime_min=10.0,
+                             runtime_cap=60.0, universe="vanilla")
+    return GridTestbed(TestbedConfig(
+        seed=seed, traffic=profile,
+        sites=(SiteSpec("site0", scheduler="pbs", cpus=8,
+                        factory=FactoryPolicy(max_glideins=6,
+                                              interval=15.0,
+                                              lease=50_000.0)),),
+        agents=(AgentSpec("alice"),)))
+
+
+def test_traffic_replays_through_agents_to_completion():
+    tb = _burst_tb(seed=11)
+    tb.run_until_quiet()
+    traffic = tb.traffic
+    assert traffic.finished
+    assert traffic.records, "profile should have produced arrivals"
+    assert traffic.unfinished() == []
+    waits = traffic.waits()
+    assert len(waits) == len(traffic.records)
+    assert all(w >= 0.0 for w in waits)
+    by_user = traffic.per_user_waits()
+    assert sum(len(v) for v in by_user.values()) == len(waits)
+
+
+def test_traffic_run_is_deterministic():
+    def digest():
+        tb = _burst_tb(seed=17)
+        tb.run_until_quiet()
+        return run_digest(tb)
+
+    assert digest() == digest()
+
+
+def test_multiplexing_spreads_users_over_agents():
+    profile = TrafficProfile(users=30, horizon=200.0, base_rate=0.4,
+                             runtime_min=5.0, runtime_cap=20.0,
+                             universe="grid")
+    tb = GridTestbed(TestbedConfig(
+        seed=5, traffic=profile,
+        sites=(SiteSpec("s", scheduler="pbs", cpus=8),),
+        agents=(AgentSpec("a0", personal_pool=False,
+                          broker_kind="userlist"),
+                AgentSpec("a1", personal_pool=False,
+                          broker_kind="userlist"))))
+    tb.run_until_quiet()
+    agents_used = {r.agent_index for r in tb.traffic.records}
+    assert agents_used == {0, 1}
+    assert tb.traffic.unfinished() == []
