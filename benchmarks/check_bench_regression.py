@@ -9,6 +9,11 @@ Fails (exit 1) if, for any cell present in both files:
   (a kernel performance regression), or
 * ``digest_match`` is false (the optimizations changed behaviour).
 
+Cells marked ``"modes": "optimized-only"`` (too expensive to double-run
+in legacy mode, e.g. the 100k-job monitored cell) skip the digest check
+-- their behaviour equivalence is covered by the both-modes cell of the
+same scenario family at smaller scale.
+
 Cells only in one file are reported but don't fail the check -- CI runs
 a downsized subset of the committed full-scale cells.
 """
@@ -34,7 +39,9 @@ def main(argv=None) -> int:
 
     failures = []
     for name, cell in sorted(fresh.items()):
-        if not cell.get("digest_match", False):
+        if cell.get("modes") == "optimized-only":
+            print(f"{name}: optimized-only cell; skipping digest check")
+        elif not cell.get("digest_match", False):
             failures.append(f"{name}: optimized/legacy digests diverged")
         base = baseline.get(name)
         if base is None:

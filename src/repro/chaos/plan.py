@@ -34,7 +34,7 @@ PLAN_VERSION = 1
 # Fault kinds a plan may carry.  `duration` is downtime / outage length /
 # delay-until-refresh, depending on the kind.
 KINDS = ("crash", "partition", "isolate", "jm_kill", "proxy_expire",
-         "corrupt", "factory_kill")
+         "corrupt", "factory_kill", "monitor_kill")
 
 
 @dataclass(frozen=True)
@@ -128,7 +128,7 @@ class FaultPlan:
                 target = rng.choice(surface[kind])
                 when = round(start + rng.uniform(10.0, horizon), 3)
                 duration = round(rng.uniform(30.0, 300.0), 3)
-                if kind == "jm_kill":
+                if kind in ("jm_kill", "monitor_kill"):
                     duration = None
                 elif kind == "proxy_expire" and rng.random() < 0.3:
                     duration = None    # no refresh: jobs must hold+notify
@@ -171,6 +171,11 @@ def fault_surface(tb: "GridTestbed") -> dict[str, list[str]]:
     # fresh instance re-derives everything from the queue and the fleet).
     factory_users = sorted(name for name, agent in tb.agents.items()
                            if agent.factory is not None)
+    # Grid Monitors (repro.gram.monitor) live on gatekeeper hosts when
+    # any agent opted into monitored status fan-in; killing one must
+    # degrade cleanly to per-job polling until the client relaunches it.
+    monitored = any(getattr(agent.scheduler, "grid_monitor", False)
+                    for agent in tb.agents.values())
     return {
         "crash": gk_hosts + se_hosts,
         "partition": pairs,
@@ -179,6 +184,7 @@ def fault_surface(tb: "GridTestbed") -> dict[str, list[str]]:
         "proxy_expire": cred_users,
         "corrupt": se_hosts,
         "factory_kill": factory_users,
+        "monitor_kill": gk_hosts if monitored else [],
     }
 
 
@@ -196,6 +202,9 @@ def _apply_one(tb: "GridTestbed", ev: PlannedFault) -> None:
     elif ev.kind == "jm_kill":
         host = tb.sim.hosts[ev.target]
         inj.crash_service_at(ev.time, host, "jm:")
+    elif ev.kind == "monitor_kill":
+        host = tb.sim.hosts[ev.target]
+        inj.crash_service_at(ev.time, host, "monitor:")
     elif ev.kind == "proxy_expire":
         _apply_proxy_expiry(tb, ev)
     elif ev.kind == "corrupt":

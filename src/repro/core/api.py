@@ -104,6 +104,7 @@ class CondorGAgent:
         warn_threshold: float = 3600.0,
         max_submitted_per_resource: Optional[int] = None,
         data_services=None,
+        grid_monitor: bool = False,
     ):
         self.host = host
         self.sim = host.sim
@@ -118,7 +119,8 @@ class CondorGAgent:
             credential_source=None,       # wired below once credmon exists
             notifier=self.notifier, userlog=self.userlog,
             max_submitted_per_resource=max_submitted_per_resource,
-            data_services=data_services)
+            data_services=data_services,
+            grid_monitor=grid_monitor)
 
         if proxy is not None:
             self.credmon = CredentialMonitor(

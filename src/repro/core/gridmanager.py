@@ -59,6 +59,14 @@ class GridManager(Service):
 
     PROBE_INTERVAL = 30.0
     POLL_INTERVAL = 20.0
+    # With a Grid Monitor reporting per site (§5.1), per-job polling is
+    # demoted to this slow backstop and skips sites with fresh reports.
+    MONITOR_BACKSTOP_INTERVAL = 300.0
+    # A site's heartbeat is stale once this many report intervals pass
+    # in silence: per-job polling/probing resumes and the monitor is
+    # relaunched (with a cooldown so a dead gatekeeper isn't hammered).
+    MONITOR_MISS_FACTOR = 2.5
+    MONITOR_START_COOLDOWN = 60.0
 
     def __init__(
         self,
@@ -68,6 +76,7 @@ class GridManager(Service):
         credential_source=None,
         max_submitted_per_resource: Optional[int] = None,
         data_services=None,
+        grid_monitor: bool = False,
     ):
         self.callback_service = f"gramcb:{user}"
         super().__init__(host, name=self.callback_service)
@@ -80,6 +89,15 @@ class GridManager(Service):
         # repro.data wiring (replica catalog + transfer scheduler + the
         # site -> storage-element map), or None in data-free grids.
         self.data = data_services
+        # Grid Monitor fan-in (§5.1, repro.gram.monitor): one per-site
+        # daemon batches all our JobManagers' states into one report
+        # per interval.  Semantic opt-in -- it changes the RPC pattern
+        # (and so the digest), which is why it rides AgentSpec and not
+        # PerfFlags.
+        self.grid_monitor = grid_monitor
+        self._monitor_last: dict[str, float] = {}     # contact -> last report
+        self._monitor_attempt: dict[str, float] = {}  # contact -> last launch
+        self._monitor_suspect: set[str] = set()       # jmids absent from report
         self._credential_source = credential_source
         self.client = Gram2Client(host, credential_source=credential_source)
         self.exited = False
@@ -232,6 +250,7 @@ class GridManager(Service):
             self.sim.now - attempt_start)
         self._trace("submitted", job=job.job_id, jmid=job.jmid,
                     resource=job.resource)
+        self._ensure_monitor(job.contact)
 
     # -- data placement (repro.data) -----------------------------------------
     def _data_credential(self, audience: str):
@@ -404,6 +423,103 @@ class GridManager(Service):
         self._apply_remote_state(job, state, failure_reason, exit_code)
         return True
 
+    def handle_monitor_report(self, ctx, site: str, seq: int,
+                              reports: dict) -> bool:
+        """One batched status report from a site's Grid Monitor.
+
+        Each entry goes through the same `_apply_remote_state` as a
+        callback or poll response, under the same superseded-``jmid``
+        staleness discipline: a report snapshotted before a resubmission
+        must not touch the new attempt.  The report doubles as the
+        site's liveness heartbeat, and a *watchable* job whose
+        JobManager is absent from its site's report is marked suspect --
+        the probe loop gives exactly those jobs the per-job §4.2
+        treatment while everything covered by the monitor stays quiet.
+        """
+        if not self.grid_monitor or self.exited:
+            return False
+        contact = ctx.caller_host
+        self._monitor_last[contact] = self.sim.now
+        self.sim.metrics.counter("gridmanager.monitor_reports").inc(
+            label=site)
+        self.sim.metrics.counter("gridmanager.monitor_jobs_reported").inc(
+            len(reports))
+        for jmid in sorted(reports):
+            # The jmid index is maintained unconditionally (its upkeep
+            # is O(1)); consulting it here is not a PerfFlags matter
+            # because monitored runs have their own digest lineage.
+            job = self.scheduler.job_by_jmid(jmid)
+            if job is None or job.jmid != jmid:
+                continue    # superseded attempt: drop the stale entry
+            entry = reports[jmid]
+            self._apply_remote_state(
+                job, entry["state"], entry.get("failure_reason", ""),
+                entry.get("exit_code"))
+        for job in self._watchable_jobs():
+            if (job.contact or job.resource) != contact or not job.jmid:
+                continue
+            if job.jmid in reports:
+                self._monitor_suspect.discard(job.jmid)
+            elif job.jmid not in self._monitor_suspect:
+                # Still watchable but invisible to the site's monitor:
+                # its JobManager died (monitors see every live *and*
+                # unacked-terminal JobManager of ours).
+                self._monitor_suspect.add(job.jmid)
+                self.sim.metrics.counter(
+                    "gridmanager.monitor_suspects").inc()
+                self._trace("monitor_missing_jm", job=job.job_id,
+                            jmid=job.jmid, contact=contact)
+        return True
+
+    # -- grid monitor lifecycle ---------------------------------------------
+    def _monitor_fresh(self, contact: str) -> bool:
+        """Has `contact`'s monitor reported (or been launched) recently?"""
+        last = self._monitor_last.get(contact)
+        if last is None:
+            return False
+        from ..gram.monitor import GridMonitor
+
+        horizon = GridMonitor.REPORT_INTERVAL * self.MONITOR_MISS_FACTOR
+        return self.sim.now - last <= horizon
+
+    def _ensure_monitor(self, contact: str) -> None:
+        """Launch (or relaunch) the Grid Monitor at `contact`, lazily.
+
+        Called on every successful submit and on every stale-heartbeat
+        probe pass; the freshness check and launch cooldown make both
+        O(1) no-ops while a monitor is alive, so the steady state costs
+        one ``start_monitor`` RPC per site per outage, not per job.
+        """
+        if not self.grid_monitor or self.exited or not contact:
+            return
+        if self._monitor_fresh(contact):
+            return
+        last = self._monitor_attempt.get(contact)
+        if last is not None and \
+                self.sim.now - last < self.MONITOR_START_COOLDOWN:
+            return
+        self._monitor_attempt[contact] = self.sim.now
+        self.host.spawn(self._start_monitor(contact),
+                        name=f"gm-monitor:{self.user}")
+
+    def _start_monitor(self, contact: str):
+        starts = self.sim.metrics.counter("gridmanager.monitor_starts")
+        try:
+            yield from self.client.start_monitor(
+                contact, callback=(self.host.name, self.callback_service))
+        except RPCError as exc:
+            starts.inc(label="failed")
+            self._trace("monitor_start_failed", contact=contact,
+                        reason=str(exc))
+            return
+        # Optimistic heartbeat: the monitor exists *now*; its first
+        # report lands one interval out, well inside the staleness
+        # horizon -- so the probe loop stands down immediately instead
+        # of fanning out per-job probes while the monitor warms up.
+        self._monitor_last[contact] = self.sim.now
+        starts.inc(label="ok")
+        self._trace("monitor_started", contact=contact)
+
     def _job_by_jmid(self, jmid: str) -> Optional[GridJob]:
         if PerfFlags.scheduler_indexes:
             return self.scheduler.job_by_jmid(jmid)
@@ -507,38 +623,54 @@ class GridManager(Service):
 
     # -- polling backstop ----------------------------------------------------
     def _poll_loop(self):
+        # With a Grid Monitor fanning in per-site reports, per-job
+        # status polling is pure redundancy while heartbeats are fresh:
+        # the loop drops to a slow backstop tick and skips every job at
+        # a freshly-reporting site, so it only pays RPCs for sites whose
+        # monitor has gone quiet (and for report loss, eventually).
+        interval = self.MONITOR_BACKSTOP_INTERVAL if self.grid_monitor \
+            else self.POLL_INTERVAL
         while not self.exited:
-            yield self.sim.timeout(self.POLL_INTERVAL)
+            yield self.sim.timeout(interval)
             while PerfFlags.idle_poll_sleep and not self._has_watchable():
-                yield from self._idle_realign(self.POLL_INTERVAL)
+                yield from self._idle_realign(interval)
             for job in self._watchable_jobs():
-                # Snapshot the attempt we are polling: the job can be
-                # resubmitted while the status RPC is in flight (a
-                # failure report for THIS attempt races with the next
-                # one), and applying a stale response to the new
-                # attempt would wreck its state machine.
-                jmid = job.jmid
-                if not jmid or job.is_terminal:
-                    continue    # mutated since the list was drawn
-                try:
-                    status = yield from self.client.status(job.contact,
-                                                           jmid)
-                except AuthenticationError as exc:
-                    # An expired/bad proxy discovered while polling gets
-                    # the same §5 hold-and-notify treatment as one
-                    # discovered while probing.
-                    self.sim.metrics.counter(
-                        "gridmanager.poll_credential_errors").inc()
-                    if job.jmid == jmid:
-                        self.scheduler.credential_problem(job, str(exc))
+                if self.grid_monitor and \
+                        self._monitor_fresh(job.contact or job.resource):
                     continue
-                except RPCError:
-                    continue    # probe loop owns liveness handling
-                if job.jmid != jmid:
-                    continue    # superseded attempt: drop the response
-                self._apply_remote_state(
-                    job, status["state"], status.get("failure_reason", ""),
-                    status.get("exit_code"))
+                yield from self._poll_job(job)
+
+    def _poll_job(self, job: GridJob):
+        # Snapshot the attempt we are polling: the job can be
+        # resubmitted while the status RPC is in flight (a
+        # failure report for THIS attempt races with the next
+        # one), and applying a stale response to the new
+        # attempt would wreck its state machine.
+        jmid = job.jmid
+        if not jmid or job.is_terminal:
+            return    # mutated since the list was drawn
+        self.sim.metrics.counter("gridmanager.status_polls").inc()
+        try:
+            status = yield from self.client.status(job.contact, jmid)
+        except AuthenticationError as exc:
+            # An expired/bad proxy discovered while polling gets
+            # the same §5 hold-and-notify treatment as one
+            # discovered while probing.  Both the metric and the
+            # hold are gated on the attempt match: a stale error
+            # for a superseded attempt says nothing about the
+            # current attempt's credential.
+            if job.jmid == jmid:
+                self.sim.metrics.counter(
+                    "gridmanager.poll_credential_errors").inc()
+                self.scheduler.credential_problem(job, str(exc))
+            return
+        except RPCError:
+            return    # probe loop owns liveness handling
+        if job.jmid != jmid:
+            return    # superseded attempt: drop the response
+        self._apply_remote_state(
+            job, status["state"], status.get("failure_reason", ""),
+            status.get("exit_code"))
 
     def _watchable_jobs(self) -> list[GridJob]:
         if PerfFlags.scheduler_indexes:
@@ -554,6 +686,20 @@ class GridManager(Service):
             while PerfFlags.idle_poll_sleep and not self._has_watchable():
                 yield from self._idle_realign(self.PROBE_INTERVAL)
             for job in self._watchable_jobs():
+                if self.grid_monitor:
+                    jmid = job.jmid
+                    contact = job.contact or job.resource
+                    if self._monitor_fresh(contact):
+                        # Liveness piggybacks on the heartbeat: probe
+                        # per-job only what the monitor reported missing.
+                        if jmid and jmid in self._monitor_suspect:
+                            self._monitor_suspect.discard(jmid)
+                            yield from self._probe_job(job)
+                        continue
+                    # Stale heartbeat: the monitor (or the whole site)
+                    # is gone.  Degrade to the full per-job §4.2
+                    # machinery for this site and ask for a new monitor.
+                    self._ensure_monitor(contact)
                 yield from self._probe_job(job)
 
     def _probe_job(self, job: GridJob):

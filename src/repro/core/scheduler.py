@@ -41,12 +41,17 @@ class CondorGScheduler:
         recover: bool = True,
         max_submitted_per_resource: Optional[int] = None,
         data_services=None,
+        grid_monitor: bool = False,
     ):
         self.host = host
         self.sim = host.sim
         self.user = user
         self.broker = broker
         self.credential_source = credential_source
+        # Grid Monitor fan-in (§5.1): the GridManager launches one
+        # per-site status monitor instead of polling every job (a
+        # semantic opt-in -- see AgentSpec.grid_monitor).
+        self.grid_monitor = grid_monitor
         # Data-management wiring (repro.data.DataServices) or None; the
         # GridManager stages input datasets / places output datasets
         # through these services when a job declares any.
@@ -183,7 +188,8 @@ class CondorGScheduler:
                 self, self.user, self.host,
                 credential_source=self.credential_source,
                 max_submitted_per_resource=self.max_submitted_per_resource,
-                data_services=self.data_services)
+                data_services=self.data_services,
+                grid_monitor=self.grid_monitor)
 
     def _check_user(self, user: Optional[str], method: str) -> None:
         """Deprecation shim for the redundant per-user `user` args.

@@ -8,6 +8,7 @@ baseline.
 from .client import Gram1Client, Gram2Client, GramClientError
 from .gatekeeper import Gatekeeper, GatekeeperBusy
 from .jobmanager import JobManager
+from .monitor import GridMonitor
 from .protocol import (
     ACTIVE,
     DONE,
@@ -24,7 +25,7 @@ from .protocol import (
 __all__ = [
     "ACTIVE", "DONE", "FAILED", "GRAM_TERMINAL", "Gatekeeper",
     "GatekeeperBusy", "Gram1Client", "Gram2Client", "GramClientError",
-    "GramJobRequest",
+    "GramJobRequest", "GridMonitor",
     "JobManager", "PENDING", "STAGE_IN", "UNCOMMITTED", "gram_state_of",
     "to_lrm_spec",
 ]

@@ -137,6 +137,20 @@ class Gram2Client:
                                  jmid=jmid)
         return result
 
+    def start_monitor(self, contact: str, callback: tuple):
+        """Ask the gatekeeper for a Grid Monitor reporting to `callback`.
+
+        Idempotent server-side (one monitor per user per gatekeeper);
+        the caller retries on its own schedule -- heartbeat staleness,
+        not RPC retry loops, drives relaunching.
+        """
+        result = yield from call(self.host, contact, "gatekeeper",
+                                 "start_monitor",
+                                 timeout=self.rpc_timeout,
+                                 credential=self._credential(contact),
+                                 callback=tuple(callback))
+        return result
+
     def cancel(self, contact: str, jmid: str):
         result = yield from call(self.host, contact, f"jm:{jmid}", "cancel",
                                  timeout=self.rpc_timeout,

@@ -292,6 +292,33 @@ class Gatekeeper(Service):
                     client=ctx.caller_host)
         return {"jmid": jmid, "contact": self.host.name}
 
+    def handle_start_monitor(self, ctx, callback,
+                             interval=None) -> dict:
+        """Launch (or find) the caller's Grid Monitor on this machine.
+
+        One monitor per (user, gatekeeper) pair, idempotent: a repeated
+        request -- the client relaunches on heartbeat silence, and its
+        request can race a live monitor -- returns the existing daemon.
+        The monitor rides the same GSI door as a submission (``owner``
+        is the gridmap-mapped principal, so it sees exactly the
+        JobManagers created for this user), but *not* the admission
+        token bucket: it is one daemon per user that replaces per-job
+        polling, so admitting it under overload sheds load rather than
+        adding any.
+        """
+        from .monitor import GridMonitor
+
+        owner = ctx.principal or ctx.caller_host
+        name = f"monitor:{owner}"
+        if self.host.get_service(name) is not None:
+            return {"monitor": name, "site": self.site, "started": False}
+        GridMonitor(self.host, owner, tuple(callback), site=self.site,
+                    interval=interval)
+        self.sim.metrics.counter("gatekeeper.monitors_started").inc()
+        self._trace("monitor_started", owner=owner,
+                    client=ctx.caller_host)
+        return {"monitor": name, "site": self.site, "started": True}
+
     def handle_restart_jobmanager(self, ctx, jmid: str) -> dict:
         """Revive a JobManager from its on-disk state file (GRAM-2)."""
         existing = self.host.get_service(f"jm:{jmid}")

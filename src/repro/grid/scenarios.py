@@ -250,26 +250,33 @@ def scale_sites(n_sites: int = 20, cpus: int = 50) -> tuple[SiteSpec, ...]:
     max_faults=2,
 )
 def scale_gram_grid(seed: int = 0, jobs: int = 10_000, n_sites: int = 20,
-                    cpus: int = 50) -> GridTestbed:
+                    cpus: int = 50, grid_monitor: bool = False,
+                    runtime_base: float = 60.0,
+                    runtime_step: float = 5.0) -> GridTestbed:
     """The GRAM-path scale cell: one agent spraying `jobs` grid-universe
     jobs round-robin over `n_sites` x `cpus` slots.
 
     Keeps MDS/repo off and stdout streaming disabled so the event load
     is the job-management machinery itself, not ancillary chatter.
+    ``grid_monitor=True`` swaps the per-job poll storm for per-site
+    Grid Monitor reports (the §5.1 fix) -- the same workload, a
+    different RPC pattern.
     """
     config = TestbedConfig(
         seed=seed, with_mds=False, with_repo=False,
         trace_max_records=200_000,
         sites=scale_sites(n_sites, cpus),
         agents=(AgentSpec("scale", broker_kind="userlist",
-                          personal_pool=False),),
+                          personal_pool=False,
+                          grid_monitor=grid_monitor),),
     )
     tb = GridTestbed.from_config(config)
     agent = tb.agents["scale"]
     for i in range(jobs):
-        agent.submit(JobDescription(executable="scale.exe",
-                                    runtime=60.0 + 5.0 * (i % 40),
-                                    stream_stdout=False))
+        agent.submit(JobDescription(
+            executable="scale.exe",
+            runtime=runtime_base + runtime_step * (i % 40),
+            stream_stdout=False))
     return tb
 
 
@@ -687,6 +694,32 @@ def burst_overload_grid(seed: int = 0, *,
 # The scale/multiuser/data/burst cells are registered for the benchmark
 # suite and explicit `--scenarios <name>` chaos runs; they are NOT in
 # the chaos engine's DEFAULT_SCENARIOS, so routine campaigns stay light.
+
+register(scale_gram_grid.scenario.with_overrides(
+    "monitored-gram",
+    description="small GRAM grid with per-site Grid Monitor fan-in",
+    fault_horizon=1500.0,
+    cap=20_000.0,
+    chunk=1000.0,
+    fault_kinds=("crash", "partition", "isolate", "jm_kill",
+                 "monitor_kill"),
+    jobs=80, n_sites=4, cpus=10, grid_monitor=True))
+
+register(scale_gram_grid.scenario.with_overrides(
+    "scale-gram-monitor",
+    description="scale-gram with per-site Grid Monitor status fan-in",
+    fault_kinds=("crash", "partition", "isolate", "jm_kill",
+                 "monitor_kill"),
+    grid_monitor=True))
+
+register(scale_gram_grid.scenario.with_overrides(
+    "scale-100k-monitor",
+    description="100k GRAM jobs over 25 sites x 200 cpus, Grid Monitor "
+                "fan-in carrying all status traffic",
+    fault_kinds=("crash", "partition", "isolate", "jm_kill",
+                 "monitor_kill"),
+    jobs=100_000, n_sites=25, cpus=200, grid_monitor=True,
+    runtime_base=30.0, runtime_step=2.0))
 
 register(multiuser_gram_grid.scenario.with_overrides(
     "kiloclient",

@@ -336,6 +336,7 @@ class GridTestbed:
             warn_threshold=spec.warn_threshold,
             max_submitted_per_resource=spec.max_submitted_per_resource,
             data_services=self.data_services,
+            grid_monitor=spec.grid_monitor,
         )
         # Brokers that talk to GSI-protected services need the user's
         # credential; wire it in once the credential monitor exists.

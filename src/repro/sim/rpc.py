@@ -119,6 +119,13 @@ def _next_token(sim) -> int:
 
 _INLINE_CACHE: dict[tuple[type, str], Optional[tuple[bool, str]]] = {}
 
+#: Optional live RPC tally for profiling (see ``repro.profile``): when a
+#: dict is installed here, every ``call()``/``notify()`` increments
+#: ``RPC_STATS[(service, method)]``.  Plain Python bookkeeping outside
+#: the simulation -- no events, no RNG, no metrics -- so enabling it
+#: never changes a run's digest.
+RPC_STATS: Optional[dict] = None
+
 # Immutable result types that never need the serialization copy.
 _ATOMS = frozenset((type(None), bool, int, float, str))
 
@@ -316,6 +323,9 @@ def call(
     net = sim.network
     if net is None:
         raise RuntimeError("simulation has no Network")
+    if RPC_STATS is not None:
+        key = (service, method)
+        RPC_STATS[key] = RPC_STATS.get(key, 0) + 1
     disp = _dispatch(src)
     token = _next_token(sim)
     plan = _inline_plan(sim, dst, service, method) \
@@ -380,6 +390,9 @@ def notify(
     """One-way datagram dispatched to ``handle_<method>`` (no response)."""
     sim = src.sim
     net = sim.network
+    if RPC_STATS is not None:
+        key = (service, method)
+        RPC_STATS[key] = RPC_STATS.get(key, 0) + 1
     if PerfFlags.rpc_inline and net is not None:
         plan = _inline_plan(sim, dst, service, method)
         if plan is not None:

@@ -46,6 +46,18 @@ class TestGeneration:
             assert not lrm_hosts & set(surface[kind])
         assert surface["proxy_expire"] == ["alice"]     # GSI agent only
 
+    def test_monitor_kill_surface_requires_opt_in(self):
+        # monitor_kill only targets gatekeepers of testbeds where some
+        # agent actually opted into the Grid Monitor; elsewhere the
+        # surface is empty and generation filters the kind out.
+        tb, _ = _generate("quickstart", 0)
+        assert fault_surface(tb)["monitor_kill"] == []
+        monitored = get_scenario("monitored-gram").build(0)
+        surface = fault_surface(monitored)
+        gk_hosts = sorted(site.gk_host.name
+                          for site in monitored.sites.values())
+        assert surface["monitor_kill"] == gk_hosts
+
     def test_generation_draws_from_named_stream_only(self):
         # Consuming the plan stream must not perturb other streams:
         # generating a plan and then drawing from "other" gives the same

@@ -51,6 +51,43 @@ def test_poll_loop_routes_auth_errors_to_credential_hold(monkeypatch):
     assert reg.counter("scheduler.credential_holds").value == 1
 
 
+def test_stale_poll_auth_error_does_not_count_or_hold(monkeypatch):
+    """Regression: ``poll_credential_errors`` used to increment even
+    when the failed status response belonged to a superseded attempt --
+    the hold was correctly gated on the attempt match, but the metric
+    fired first, so resubmission races inflated the credential-error
+    count.  Both must be gated: a stale error for a dead attempt says
+    nothing about the current attempt's credential."""
+    tb = make_tb()
+    agent = tb.add_agent(AgentSpec("alice"))
+    jid = agent.submit(JobDescription(runtime=800.0), resource="site-gk")
+    tb.run(until=15.0)
+    job = agent.scheduler.jobs[jid]
+    assert job.jmid
+
+    monkeypatch.setattr(GridManager, "PROBE_INTERVAL", 1e9)
+
+    attempt = [0]
+
+    def racing_status(self, contact, jmid):
+        # The attempt is superseded while the status RPC is in flight
+        # (exactly what a concurrent failure-report + resubmit does),
+        # then the in-flight poll comes back with an auth error.
+        attempt[0] += 1
+        job.jmid = f"jm-attempt-{attempt[0]}"
+        raise AuthenticationError("stale proxy error for old attempt")
+        yield  # pragma: no cover -- generator like the real method
+
+    monkeypatch.setattr(Gram2Client, "status", racing_status)
+    tb.run(until=60.0)
+
+    reg = tb.sim.metrics
+    assert reg.counter("gridmanager.status_polls").value >= 1
+    assert reg.counter("gridmanager.poll_credential_errors").value == 0
+    assert reg.counter("scheduler.credential_holds").value == 0
+    assert agent.status(jid).state != "HELD"
+
+
 def test_submission_failure_reason_is_not_masked(monkeypatch):
     tb = make_tb()
     agent = tb.add_agent(AgentSpec("alice"))

@@ -17,7 +17,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.perf import PerfFlags, perf_mode
 from repro.sim.fastcopy import fast_deepcopy
 
-LIGHT_SCENARIOS = ("quickstart", "three-site", "credential", "pool-reuse")
+LIGHT_SCENARIOS = ("quickstart", "three-site", "credential", "pool-reuse",
+                   "monitored-gram")
 
 
 def _digest(name: str, seed: int) -> str:
