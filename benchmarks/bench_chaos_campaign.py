@@ -14,7 +14,8 @@ import os
 
 import pytest
 
-from repro.chaos import run_campaign
+from repro.chaos import FaultPlan, PlannedFault, run_campaign, shrink_plan
+from repro.sim.snapshot import ForkPoint
 
 SCENARIOS = ("credential", "three-site")
 SEEDS = range(8)
@@ -51,3 +52,66 @@ def test_campaign_scaling(report):
     if (os.cpu_count() or 1) >= WORKERS:
         assert speedup > 1.5, (
             f"{WORKERS}-worker pool only {speedup:.2f}x over inline")
+
+
+# -- shrink-from-snapshot -----------------------------------------------------
+
+SHRINK_SEED = 11
+
+#: one culprit (crash the submit host while jobs are in flight) plus
+#: three decoys ddmin must strip -- the seeded shrink-lab violation.
+SHRINK_PLAN = FaultPlan(events=[
+    PlannedFault(4000.0, "crash", "submit-dana", 300.0),
+    PlannedFault(4050.0, "partition", "submit-dana|lab-gk", 120.0),
+    PlannedFault(4150.0, "jm_kill", "lab-gk", None),
+    PlannedFault(4250.0, "isolate", "lab-gk", 60.0),
+])
+
+
+@pytest.mark.benchmark(group="chaos")
+@pytest.mark.skipif(not ForkPoint.supported(), reason="needs os.fork")
+def test_shrink_from_snapshot(report):
+    """CHAOS-SHRINK -- ddmin candidate replays: from t=0 vs forked from
+    a pre-fault snapshot.
+
+    The shrink-lab cell is prefix-heavy (faults land after ~4000s of a
+    ~7000s run), so replaying every ddmin candidate from zero spends
+    most of its time re-simulating an identical fault-free prefix.  The
+    snapshot path simulates that prefix once and forks it per candidate:
+    the replayed-sim-seconds ratio is deterministic and must be >= 2x;
+    wall time follows (asserted loosely -- the suffix is event-sparse,
+    so the observed wall win is larger).
+    """
+    invariants = {"terminal_or_held"}
+    zero_stats: dict = {}
+    fork_stats: dict = {}
+    minimal_zero, _ = shrink_plan(
+        "shrink-lab", SHRINK_SEED, SHRINK_PLAN, invariants=invariants,
+        stats=zero_stats)
+    minimal_fork, _ = shrink_plan(
+        "shrink-lab", SHRINK_SEED, SHRINK_PLAN, invariants=invariants,
+        from_snapshot=True, stats=fork_stats)
+
+    assert minimal_zero.to_dict() == minimal_fork.to_dict()
+    assert len(minimal_fork) == 1
+
+    sim_ratio = zero_stats["replayed_sim_seconds"] / \
+        fork_stats["replayed_sim_seconds"]
+    wall_ratio = zero_stats["wall_seconds"] / fork_stats["wall_seconds"] \
+        if fork_stats["wall_seconds"] else 0.0
+    rows = [
+        {"mode": stats["mode"], "replays": stats["replays"],
+         "sim_s_replayed": round(stats["replayed_sim_seconds"]),
+         "wall_s": round(stats["wall_seconds"], 2)}
+        for stats in (zero_stats, fork_stats)
+    ]
+    report.table(
+        f"CHAOS-SHRINK: candidate replays from-zero vs fork "
+        f"(sim-seconds {sim_ratio:.2f}x, wall {wall_ratio:.2f}x)",
+        rows, order=["mode", "replays", "sim_s_replayed", "wall_s"])
+
+    assert sim_ratio >= 2.0, (
+        f"snapshot shrink replayed only {sim_ratio:.2f}x fewer "
+        "sim-seconds")
+    assert wall_ratio >= 1.2, (
+        f"snapshot shrink wall win only {wall_ratio:.2f}x")

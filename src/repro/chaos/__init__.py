@@ -30,7 +30,7 @@ from .runner import (
     run_campaign,
     run_one,
 )
-from .shrink import shrink_plan, violation_predicate
+from .shrink import shrink_plan, snapshot_predicate, violation_predicate
 
 __all__ = [
     "CampaignResult", "DEFAULT_SCENARIOS", "FaultPlan", "INVARIANTS",
@@ -38,6 +38,6 @@ __all__ = [
     "campaign_to_dict", "campaign_to_json", "default_workers",
     "drive_to_quiescence", "evaluate_invariants", "fault_surface",
     "first_divergence", "format_report", "run_campaign", "run_digest",
-    "run_one", "shrink_plan", "trace_fingerprint",
+    "run_one", "shrink_plan", "snapshot_predicate", "trace_fingerprint",
     "violation_predicate",
 ]

@@ -75,10 +75,15 @@ def _cmd_repro(args: argparse.Namespace) -> int:
         return 0
     if args.shrink and result.violations:
         names = {v["invariant"] for v in result.violations}
+        stats: dict = {}
         minimal, replays = shrink_plan(
             args.scenario, args.seed, FaultPlan.from_dict(result.plan),
-            invariants=names)
-        print(f"shrunk to {len(minimal)} event(s) in {replays} replays:")
+            invariants=names, from_snapshot=args.from_snapshot,
+            stats=stats)
+        print(f"shrunk to {len(minimal)} event(s) in {replays} replays "
+              f"[{stats['mode']}: "
+              f"{stats.get('replayed_sim_seconds', 0.0):.0f} sim-seconds "
+              f"replayed, {stats['wall_seconds']:.1f}s wall]:")
         print(minimal.to_json())
     return 1
 
@@ -122,6 +127,10 @@ def main(argv=None) -> int:
     repro_p.add_argument("--shrink", action="store_true",
                          help="delta-debug a violating plan to a "
                               "minimal schedule")
+    repro_p.add_argument("--from-snapshot", action="store_true",
+                         help="evaluate shrink candidates by forking a "
+                              "pre-fault snapshot instead of replaying "
+                              "from t=0")
     repro_p.set_defaults(func=_cmd_repro)
 
     sc_p = sub.add_parser("scenarios", help="list registered scenarios")

@@ -122,7 +122,13 @@ def drive_to_quiescence(tb, scenario: Scenario, plan: FaultPlan) -> None:
         return True
 
     while not settled() and sim.now < scenario.cap:
-        sim.run(until=min(sim.now + scenario.chunk, scenario.cap))
+        # Chunk targets are aligned to the scenario.chunk grid (counted
+        # from t=0): a drive resumed mid-stream -- e.g. from a snapshot
+        # taken between faults -- stops at the same boundaries, and so
+        # the same final clock, as one driven from zero.  From zero the
+        # grid targets coincide with the old ``now + chunk`` stepping.
+        target = (int(sim.now / scenario.chunk) + 1) * scenario.chunk
+        sim.run(until=min(target, scenario.cap))
 
 
 def build_and_run(scenario_name: str, seed: int,

@@ -7,36 +7,111 @@ applies ddmin over the plan's event list: repeatedly re-runs the same
 plan that still reproduces a violation, until no single event can be
 removed.  Because runs are deterministic, "still reproduces" is a pure
 function of the plan -- no flake management needed.
+
+Candidate replays come in two flavors:
+
+* **from zero** (the default) -- every candidate rebuilds the scenario
+  and replays the whole run, exactly like the campaign cell did.
+* **from snapshot** (``from_snapshot=True``) -- the pre-fault prefix
+  ``[0, t0)`` (``t0`` just before the plan's earliest fault) is
+  simulated *once*; every ddmin candidate is then evaluated in an
+  ``os.fork()`` child of that parked simulation
+  (:class:`repro.sim.snapshot.ForkPoint`), so only the post-fault
+  suffix is ever re-simulated.  Fault arming is absolute-time
+  (:class:`~repro.sim.failures.FailureInjector`), so a candidate armed
+  at ``t0`` fires at the exact instants it would have armed at zero,
+  and ddmin converges to the same minimal plan.  Platforms without
+  ``os.fork`` fall back to the from-zero path.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
+from ..grid.scenarios import get_scenario
+from ..sim.snapshot import ForkPoint
 from .invariants import evaluate_invariants
 from .plan import FaultPlan
-from .runner import build_and_run
+from .runner import build_and_run, drive_to_quiescence
 
 Predicate = Callable[[FaultPlan], bool]
+
+#: how far before the plan's earliest fault the shrink snapshot parks.
+SNAPSHOT_MARGIN = 1e-3
+
+
+def _violates(tb, invariants: Optional[set[str]]) -> bool:
+    found = evaluate_invariants(tb)
+    if invariants is None:
+        return bool(found)
+    return any(v.invariant in invariants for v in found)
 
 
 def violation_predicate(
     scenario_name: str,
     seed: int,
     invariants: Optional[set[str]] = None,
+    stats: Optional[dict] = None,
 ) -> Predicate:
     """True iff replaying `plan` on ``(scenario, seed)`` still violates.
 
     ``invariants`` restricts the check to the named invariant(s), so the
     minimizer cannot wander off to a *different* failure mode while
-    shrinking.
+    shrinking.  ``stats`` (if given) accumulates ``replays`` and
+    ``replayed_sim_seconds``.
     """
     def reproduces(plan: FaultPlan) -> bool:
         tb, _ = build_and_run(scenario_name, seed, plan=plan)
-        found = evaluate_invariants(tb)
-        if invariants is None:
-            return bool(found)
-        return any(v.invariant in invariants for v in found)
+        if stats is not None:
+            stats["replays"] = stats.get("replays", 0) + 1
+            stats["replayed_sim_seconds"] = \
+                stats.get("replayed_sim_seconds", 0.0) + tb.sim.now
+        return _violates(tb, invariants)
+
+    return reproduces
+
+
+def snapshot_predicate(
+    scenario_name: str,
+    seed: int,
+    plan: FaultPlan,
+    invariants: Optional[set[str]] = None,
+    stats: Optional[dict] = None,
+) -> Predicate:
+    """A predicate that evaluates candidates from a pre-fault snapshot.
+
+    Builds the scenario once and runs it to just before the plan's
+    earliest fault; each candidate is then evaluated in a forked child
+    of that parked simulation.  Requires ``ForkPoint.supported()`` and a
+    non-empty plan (every candidate ddmin tries is a subset of
+    ``plan.events``, so all candidate fault times lie beyond the park
+    point by construction).
+    """
+    if not plan.events:
+        raise ValueError("snapshot_predicate needs a non-empty plan")
+    scenario = get_scenario(scenario_name)
+    first_fault = min(ev.time for ev in plan.events)
+    t0 = max(0.0, first_fault - SNAPSHOT_MARGIN)
+    tb = scenario.build(seed)
+    tb.run(until=t0)
+    point = ForkPoint()
+    if stats is not None:
+        stats["prefix_time"] = t0
+        stats["replayed_sim_seconds"] = \
+            stats.get("replayed_sim_seconds", 0.0) + t0
+
+    def reproduces(candidate: FaultPlan) -> bool:
+        def evaluate() -> tuple[bool, float]:
+            candidate.apply(tb)
+            drive_to_quiescence(tb, scenario, candidate)
+            return _violates(tb, invariants), tb.sim.now
+
+        verdict, final_now = point.eval(evaluate)
+        if stats is not None:
+            stats["replays"] = stats.get("replays", 0) + 1
+            stats["replayed_sim_seconds"] += final_now - t0
+        return verdict
 
     return reproduces
 
@@ -75,16 +150,40 @@ def shrink_plan(
     invariants: Optional[set[str]] = None,
     max_runs: int = 200,
     reproduces: Optional[Predicate] = None,
+    from_snapshot: bool = False,
+    stats: Optional[dict] = None,
 ) -> tuple[FaultPlan, int]:
     """Shrink `plan` to a minimal schedule that still violates.
 
     Returns ``(minimal_plan, replay_count)``.  If the original plan does
     not reproduce any violation, it is returned unchanged with count 1.
+
+    ``from_snapshot=True`` evaluates candidates from a pre-fault
+    snapshot via ``os.fork`` instead of replaying from t=0 (same
+    minimal plan, much less re-simulation; see the module docstring).
+    ``stats`` (a dict, filled in place) records ``mode``, ``replays``,
+    ``replayed_sim_seconds``, ``wall_seconds``, and -- in snapshot mode
+    -- ``prefix_time``.
     """
+    if stats is None:
+        stats = {}
+    started = time.perf_counter()
     if reproduces is None:
-        reproduces = violation_predicate(scenario_name, seed, invariants)
-    if not reproduces(plan):
-        return plan, 1
-    events, runs = shrink_events(list(plan.events), reproduces,
-                                 max_runs=max_runs)
-    return FaultPlan(events=events), runs + 1
+        if from_snapshot and plan.events and ForkPoint.supported():
+            stats["mode"] = "fork"
+            reproduces = snapshot_predicate(
+                scenario_name, seed, plan, invariants, stats=stats)
+        else:
+            stats["mode"] = "from-zero"
+            reproduces = violation_predicate(
+                scenario_name, seed, invariants, stats=stats)
+    else:
+        stats.setdefault("mode", "custom")
+    try:
+        if not reproduces(plan):
+            return plan, 1
+        events, runs = shrink_events(list(plan.events), reproduces,
+                                     max_runs=max_runs)
+        return FaultPlan(events=events), runs + 1
+    finally:
+        stats["wall_seconds"] = time.perf_counter() - started

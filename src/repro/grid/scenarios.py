@@ -732,3 +732,85 @@ register(data_cms_grid.scenario.with_overrides(
     "data-cms-compute",
     description="compute-bound sibling of data-cms (same catalog)",
     cms=COMPUTE_BOUND_CMS))
+
+
+# -- snapshot/restore scenarios (repro.sim.snapshot) ---------------------------
+
+#: one week of simulated time -- the long-horizon regression envelope.
+WEEK = 7 * 86_400.0
+
+
+@register(
+    name="week-credential-cycle",
+    description="a week of long-haul GSI jobs on 8h proxies: ~20 "
+                "expiry/hold/MyProxy-refresh/release cycles "
+                "(run as snapshot/restore segments by the regression "
+                "suite)",
+    fault_horizon=86_400.0,
+    cap=WEEK,
+    settle=2000.0,
+    fault_kinds=("proxy_expire", "jm_kill", "partition"),
+    max_faults=2,
+    chunk=21_600.0,
+)
+def _build_week_credential(seed: int) -> GridTestbed:
+    """Six ~day-long jobs serialized through one cpu for a sim-week.
+
+    The agent's proxies live 8 hours, so the CredentialMonitor must ride
+    ~20 expiry -> hold -> MyProxy-refresh -> reforward -> release cycles
+    to get every job home; the week-long horizon is what the segmented
+    snapshot/restore regression suite replays in day-sized pieces.
+    ``max_submitted_per_resource=1`` keeps at most one JobManager alive,
+    which bounds the 5s LRM poll storm over 600k simulated seconds.
+    """
+    config = TestbedConfig(
+        seed=seed, use_gsi=True,
+        with_mds=False, with_repo=False, with_myproxy=True,
+        sites=(SiteSpec("fnal", scheduler="pbs", cpus=1,
+                        register_mds=False),),
+        agents=(AgentSpec("week", broker_kind="userlist",
+                          personal_pool=False,
+                          proxy_lifetime=8 * 3600.0, myproxy=True,
+                          max_submitted_per_resource=1),),
+    )
+    tb = GridTestbed.from_config(config)
+    agent = tb.agents["week"]
+    for i in range(6):
+        agent.submit(JobDescription(executable="longhaul.exe",
+                                    runtime=80_000.0 + 2_500.0 * i,
+                                    stream_stdout=False))
+    return tb
+
+
+@register(
+    name="shrink-lab",
+    description="one busy pbs site, late-fault window: the "
+                "shrink-from-snapshot testbed (long pre-fault prefix, "
+                "short suffix)",
+    fault_horizon=4200.0,
+    cap=7000.0,
+    settle=400.0,
+    chunk=500.0,
+)
+def _build_shrink_lab(seed: int) -> GridTestbed:
+    """A deliberately prefix-heavy cell for snapshot-mode shrinking.
+
+    24 jobs keep 4 cpus busy to ~4650s; faults land after ~4000s, so a
+    ddmin replay from zero re-simulates a long fault-free prefix that
+    the fork-from-snapshot path skips entirely (>= 2x fewer replayed
+    sim-seconds -- asserted by the shrink benchmark).
+    """
+    config = TestbedConfig(
+        seed=seed, with_mds=False, with_repo=False,
+        sites=(SiteSpec("lab", scheduler="pbs", cpus=4,
+                        register_mds=False),),
+        agents=(AgentSpec("dana", broker_kind="userlist",
+                          personal_pool=False),),
+    )
+    tb = GridTestbed.from_config(config)
+    agent = tb.agents["dana"]
+    for i in range(24):
+        agent.submit(JobDescription(executable="churn.exe",
+                                    runtime=600.0 + 50.0 * (i % 8),
+                                    stream_stdout=False))
+    return tb

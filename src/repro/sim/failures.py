@@ -37,49 +37,51 @@ class FailureEvent:
 
 
 class FailureInjector:
-    """Schedules crashes/restarts/partitions against a simulator."""
+    """Schedules crashes/restarts/partitions against a simulator.
+
+    All the ``*_at`` methods arm at *absolute* simulated times (via
+    ``Simulator.schedule(at=...)``): a fault armed mid-run fires at
+    exactly the requested instant, bit-identical to the same fault armed
+    at t=0.  A relative ``now + (t - now)`` round-trip can land one ulp
+    off, which is enough to break snapshot/restore digest equivalence.
+    """
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.injected: list[FailureEvent] = []
 
+    def _at(self, time: float, fn: Callable[[], None]) -> None:
+        self.sim.schedule(0.0, fn, at=max(self.sim.now, time))
+
     # -- deterministic schedules ---------------------------------------------
     def crash_host_at(self, time: float, host: "Host",
                       down_for: Optional[float] = None) -> None:
         """Crash `host` at `time`; restart after `down_for` if given."""
-        self.sim.schedule(max(0.0, time - self.sim.now),
-                          lambda: self._crash(host))
+        self._at(time, lambda: self._crash(host))
         if down_for is not None:
             self.restart_host_at(time + down_for, host)
 
     def restart_host_at(self, time: float, host: "Host") -> None:
-        self.sim.schedule(max(0.0, time - self.sim.now),
-                          lambda: self._restart(host))
+        self._at(time, lambda: self._restart(host))
 
     def partition_at(self, time: float, a: str, b: str,
                      heal_after: Optional[float] = None) -> None:
-        self.sim.schedule(max(0.0, time - self.sim.now),
-                          lambda: self._partition(a, b))
+        self._at(time, lambda: self._partition(a, b))
         if heal_after is not None:
-            self.sim.schedule(max(0.0, time + heal_after - self.sim.now),
-                              lambda: self._heal(a, b))
+            self._at(time + heal_after, lambda: self._heal(a, b))
 
     def isolate_at(self, time: float, host: str,
                    rejoin_after: Optional[float] = None) -> None:
-        self.sim.schedule(max(0.0, time - self.sim.now),
-                          lambda: self._isolate(host))
+        self._at(time, lambda: self._isolate(host))
         if rejoin_after is not None:
-            self.sim.schedule(
-                max(0.0, time + rejoin_after - self.sim.now),
-                lambda: self._rejoin(host))
+            self._at(time + rejoin_after, lambda: self._rejoin(host))
 
     def crash_service_at(self, time: float, host: "Host",
                          prefix: str) -> None:
         """Kill the first service on `host` whose name matches `prefix`
         (the ``crash_process`` failure class: one daemon, e.g. a single
         JobManager, dies while its machine stays up)."""
-        self.sim.schedule(max(0.0, time - self.sim.now),
-                          lambda: self._crash_service(host, prefix))
+        self._at(time, lambda: self._crash_service(host, prefix))
 
     def custom_at(self, time: float, kind: str, target: str,
                   action: Callable[[], None], **extra) -> None:
@@ -92,7 +94,7 @@ class FailureInjector:
             self.sim.trace.log("failures", kind, target=target, **extra)
             action()
 
-        self.sim.schedule(max(0.0, time - self.sim.now), fire)
+        self._at(time, fire)
 
     # -- stochastic schedules ---------------------------------------------
     def random_crashes(

@@ -471,11 +471,35 @@ class Simulator:
             heapq.heapify(self._heap)
             self._tombstones = 0
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run a plain callback after ``delay`` seconds."""
-        ev = Timeout(self, delay)
+    def schedule(self, delay: float, fn: Callable[[], None],
+                 at: Optional[float] = None) -> Event:
+        """Run a plain callback after ``delay`` seconds.
+
+        With ``at`` the callback fires at that *absolute* time instead;
+        like :meth:`timeout_until` this avoids the ``now + (t - now)``
+        float round-trip, so a callback armed mid-run fires at exactly
+        the same instant as one armed at t=0.
+        """
+        ev = Timeout(self, delay, at=at)
         ev.callbacks.append(lambda _e: fn())
         return ev
+
+    def compact_heap(self) -> int:
+        """Drop cancelled entries from the heap; returns how many went.
+
+        Pop order of survivors is untouched (ordering is a pure function
+        of the ``(time, seq)`` keys), so this is behaviour-neutral in
+        every mode -- it is the canonicalization step snapshots use so
+        that heap contents do not depend on whether, or when, automatic
+        tombstone compaction last ran.
+        """
+        dropped = self._tombstones
+        if dropped:
+            self._heap[:] = [entry for entry in self._heap
+                             if not entry[2]._cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
+        return dropped
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)

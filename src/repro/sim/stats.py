@@ -150,14 +150,18 @@ class Gauge:
 
     @property
     def integral(self) -> float:
-        self._advance()
-        return self._area
+        # Computed without folding into ``_area``: a read must not
+        # mutate state, or *when* snapshots are taken changes the
+        # float-accumulation order (and thus run digests by ulps).
+        now = self.sim.now
+        extra = self._value * (now - self._since) if now > self._since \
+            else 0.0
+        return self._area + extra
 
     @property
     def time_average(self) -> float:
-        self._advance()
-        span = self._since - self._t0
-        return self._area / span if span > 0 else self._value
+        span = self.sim.now - self._t0
+        return self.integral / span if span > 0 else self._value
 
     def snapshot(self) -> dict:
         return {
